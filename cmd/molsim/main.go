@@ -1,0 +1,275 @@
+// Command molsim runs a workload mix (or a recorded trace) through one
+// cache configuration and reports per-application miss rates, QoS
+// deviations and (for molecular caches) partition layouts.
+//
+// Usage:
+//
+//	molsim -cache 1MB:4 -mix art,mcf -refs 4000000
+//	molsim -cache molecular:6MB:3x4:Randy -mix crafty,CRC,DRR -goal 0.25
+//	molsim -cache molecular:2MB:1x4:Random -trace l2refs.mtr
+//
+// -cache accepts either "SIZE:WAYS" for a traditional set-associative
+// cache or "molecular:SIZE:CLUSTERSxTILES:POLICY" for a molecular cache.
+// With -mix, the workloads run on the CMP substrate (private L1s filter
+// the reference stream, as in the paper's methodology); with -trace, a
+// binary trace recorded by tracegen is replayed directly into the cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"molcache/internal/addr"
+	"molcache/internal/cache"
+	"molcache/internal/cmp"
+	"molcache/internal/engine"
+	"molcache/internal/metrics"
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/stats"
+	"molcache/internal/tabletext"
+	"molcache/internal/trace"
+	"molcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("molsim: ")
+	cacheSpec := flag.String("cache", "1MB:4", "cache spec: SIZE:WAYS or molecular:SIZE:CxT:POLICY")
+	mix := flag.String("mix", "", "comma-separated workload names (see -list)")
+	traceIn := flag.String("trace", "", "binary trace file to replay instead of -mix")
+	refs := flag.Int("refs", 4_000_000, "processor references to drive (with -mix)")
+	goal := flag.Float64("goal", 0.10, "miss-rate goal for every application")
+	seed := flag.Uint64("seed", 2006, "simulation seed")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workload.Names(), "\n"))
+		return
+	}
+
+	l2, mol, err := buildCache(*cacheSpec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ctrl *resize.Controller
+	if mol != nil {
+		ctrl, err = resize.New(mol, resize.Config{DefaultGoal: *goal})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var asids []uint16
+	names := map[uint16]string{}
+	switch {
+	case *traceIn != "":
+		asids, names = replayTrace(*traceIn, l2, ctrl)
+	case *mix != "":
+		asids, names, err = runMix(*mix, l2, ctrl, *refs, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("need -mix or -trace (or -list)")
+	}
+
+	report(l2, mol, ctrl, asids, names, *goal)
+}
+
+// buildCache parses the -cache spec.
+func buildCache(spec string, seed uint64) (engine.Cache, *molecular.Cache, error) {
+	parts := strings.Split(spec, ":")
+	if strings.EqualFold(parts[0], "molecular") {
+		if len(parts) != 4 {
+			return nil, nil, fmt.Errorf("molecular spec needs molecular:SIZE:CxT:POLICY, got %q", spec)
+		}
+		size, err := parseSize(parts[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		ct := strings.SplitN(strings.ToLower(parts[2]), "x", 2)
+		if len(ct) != 2 {
+			return nil, nil, fmt.Errorf("bad clusters-x-tiles %q", parts[2])
+		}
+		clusters, err := strconv.Atoi(ct[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad cluster count %q", ct[0])
+		}
+		tiles, err := strconv.Atoi(ct[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad tile count %q", ct[1])
+		}
+		var policy molecular.ReplacementKind
+		switch strings.ToLower(parts[3]) {
+		case "random":
+			policy = molecular.RandomReplacement
+		case "randy":
+			policy = molecular.RandyReplacement
+		case "lru-direct", "lrudirect":
+			policy = molecular.LRUDirect
+		default:
+			return nil, nil, fmt.Errorf("unknown policy %q", parts[3])
+		}
+		mc, err := molecular.New(molecular.Config{
+			TotalSize:       size,
+			Clusters:        clusters,
+			TilesPerCluster: tiles,
+			Policy:          policy,
+			Seed:            seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return mc, mc, nil
+	}
+	if len(parts) != 2 {
+		return nil, nil, fmt.Errorf("traditional spec needs SIZE:WAYS, got %q", spec)
+	}
+	size, err := parseSize(parts[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	ways, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad ways %q", parts[1])
+	}
+	c, err := cache.New(cache.Config{Size: size, Ways: ways, LineSize: 64, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, nil, nil
+}
+
+// parseSize accepts "512KB", "2MB", "6MB", or raw bytes.
+func parseSize(s string) (uint64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mul := uint64(1)
+	switch {
+	case strings.HasSuffix(u, "MB"):
+		mul, u = addr.MB, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mul, u = addr.KB, strings.TrimSuffix(u, "KB")
+	}
+	n, err := strconv.ParseUint(u, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mul, nil
+}
+
+// runMix drives the CMP substrate over the shared cache.
+func runMix(mix string, l2 engine.Cache, ctrl *resize.Controller,
+	refs int, seed uint64) ([]uint16, map[uint16]string, error) {
+	sys, err := cmp.New(l2, cmp.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if ctrl != nil {
+		sys.OnL2Access = func(trace.Ref, engine.Result) { ctrl.Tick() }
+	}
+	var asids []uint16
+	names := map[uint16]string{}
+	for i, name := range strings.Split(mix, ",") {
+		name = strings.TrimSpace(name)
+		asid := uint16(i + 1)
+		gen, err := workload.New(name, uint64(asid)<<36, seed+uint64(asid)*1000)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sys.AddCore(asid, gen); err != nil {
+			return nil, nil, err
+		}
+		asids = append(asids, asid)
+		names[asid] = name
+	}
+	sys.Run(refs)
+	return asids, names, nil
+}
+
+// replayTrace feeds a recorded binary trace straight into the cache.
+func replayTrace(path string, l2 engine.Cache, ctrl *resize.Controller) ([]uint16, map[uint16]string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := map[uint16]bool{}
+	var asids []uint16
+	for {
+		ref, err := r.Read()
+		if err != nil {
+			break
+		}
+		l2.Access(ref)
+		if ctrl != nil {
+			ctrl.Tick()
+		}
+		if !seen[ref.ASID] {
+			seen[ref.ASID] = true
+			asids = append(asids, ref.ASID)
+		}
+	}
+	names := map[uint16]string{}
+	for _, a := range asids {
+		names[a] = fmt.Sprintf("asid%d", a)
+	}
+	return asids, names
+}
+
+// report prints per-application results and molecular internals.
+func report(l2 engine.Cache, mol *molecular.Cache, ctrl *resize.Controller,
+	asids []uint16, names map[uint16]string, goal float64) {
+	var ledger *stats.Ledger
+	switch c := l2.(type) {
+	case *cache.Cache:
+		ledger = c.Ledger()
+	case *molecular.Cache:
+		ledger = c.Ledger()
+	default:
+		log.Fatal("unknown cache type")
+	}
+
+	t := tabletext.New(fmt.Sprintf("%s — per-application results", l2.Name()),
+		"app", "accesses", "miss rate", "excess over goal")
+	goals := metrics.Goals{}
+	for _, a := range asids {
+		goals[a] = goal
+	}
+	for _, d := range metrics.Deviations(ledger, goals) {
+		t.AddRow(names[d.ASID],
+			fmt.Sprintf("%d", ledger.App(d.ASID).Accesses()),
+			fmt.Sprintf("%.4f", d.MissRate),
+			fmt.Sprintf("%.4f", d.Excess))
+	}
+	fmt.Println(t)
+	fmt.Printf("overall miss rate: %.4f   average deviation: %.4f\n",
+		ledger.Total.MissRate(), metrics.AverageDeviation(ledger, goals))
+
+	if mol == nil {
+		return
+	}
+	fmt.Printf("average molecules probed per access: %.1f (of %d total)\n",
+		mol.AverageProbes(), mol.TotalMolecules())
+	pt := tabletext.New("partitions", "app", "molecules", "rows (replacement view)")
+	for _, r := range mol.Regions() {
+		pt.AddRow(names[r.ASID()],
+			fmt.Sprintf("%d", r.MoleculeCount()),
+			fmt.Sprintf("%v", r.Rows()))
+	}
+	fmt.Println(pt)
+	if ctrl != nil {
+		fmt.Printf("resize passes: %d decisions, %d daemon cycles\n",
+			len(ctrl.Events()), ctrl.CyclesSpent())
+	}
+}

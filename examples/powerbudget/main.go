@@ -1,0 +1,65 @@
+// Powerbudget: explore the paper's power argument with the CACTI-style
+// model — why high associativity is expensive, why a small direct-mapped
+// molecule is cheap, and how selective enablement turns partition size
+// into dynamic power.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"molcache"
+)
+
+func main() {
+	// 1. The cost of associativity at 8MB (the paper's Table 4 sweep):
+	// energy rises with ways while the 8-way's frequency collapses.
+	fmt.Println("8MB traditional cache, 4 ports, 70nm:")
+	var freq4way float64
+	for _, ways := range []int{1, 2, 4, 8} {
+		e, err := molcache.EstimatePower(molcache.PowerGeometry{
+			SizeBytes: 8 << 20, Assoc: ways, LineBytes: 64, Ports: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ways == 4 {
+			freq4way = e.FrequencyMHz()
+		}
+		fmt.Printf("  %-10s %6.1f nJ/access  %5.0f MHz  %5.2f W\n",
+			e.Geometry.Name(), e.AccessEnergy, e.FrequencyMHz(),
+			e.PowerWatts(e.FrequencyMHz()))
+	}
+
+	// 2. The molecule: two orders of magnitude cheaper per probe.
+	me, err := molcache.EstimateMolecularPower(molcache.MolecularPowerGeometry{
+		TotalBytes:      8 << 20,
+		MoleculeBytes:   8 << 10,
+		LineBytes:       64,
+		TileMolecules:   64,
+		PortsPerCluster: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n8KB molecule: %.3f nJ/probe, %.2f ns cycle (incl. ASID stage)\n",
+		me.Molecule.AccessEnergy, me.CycleTime())
+
+	// 3. Selective enablement: dynamic power scales with the molecules a
+	// partition actually enables, compared at the 4-way's frequency.
+	fmt.Printf("\nmolecular power at the 4-way's %.0f MHz, by molecules probed:\n", freq4way)
+	for _, probes := range []int{4, 8, 16, 32, 64} {
+		w := me.AccessEnergy(probes) * freq4way / 1000
+		fmt.Printf("  %2d molecules -> %5.2f W\n", probes, w)
+	}
+	w4, err := molcache.EstimatePower(molcache.PowerGeometry{
+		SizeBytes: 8 << 20, Assoc: 4, LineBytes: 64, Ports: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraditional 8MB 4-way at the same frequency: %.2f W\n",
+		w4.PowerWatts(freq4way))
+	fmt.Println("A typical half-tile partition (32 molecules) undercuts it — the")
+	fmt.Println("mechanism behind the paper's 29% power-advantage headline.")
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a molecular cache with a resize controller, run two
+// applications through it, and inspect per-application isolation, miss
+// rates and partition layouts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"molcache"
+)
+
+func main() {
+	// A 2MB molecular cache: one tile cluster of four tiles, 8KB
+	// direct-mapped molecules, Randy (row-hashed) replacement, and
+	// Algorithm 1 resizing toward a 10% miss-rate goal per application.
+	sim, err := molcache.NewSimulator(
+		molcache.MolecularConfig{
+			TotalSize: 2 << 20,
+			Policy:    molcache.Randy,
+			Seed:      1,
+		},
+		molcache.ResizeConfig{DefaultGoal: 0.10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Application 1 loops over a 256KB working set; application 2
+	// sweeps a large array with no reuse. Their address spaces are
+	// disjoint (each app gets its own base).
+	const lines1 = 256 << 10 / 64
+	for i := 0; i < 2_000_000; i++ {
+		a1 := uint64(i%lines1) * 64
+		sim.Access(molcache.Ref{Addr: a1, ASID: 1, Kind: molcache.Read})
+		a2 := uint64(1)<<36 + uint64(i)*64
+		sim.Access(molcache.Ref{Addr: a2, ASID: 2, Kind: molcache.Write})
+	}
+
+	ledger := sim.Cache.Ledger()
+	fmt.Printf("%s\n\n", sim.Cache.Name())
+	for _, asid := range []uint16{1, 2} {
+		hm := ledger.App(asid)
+		r := sim.Cache.Region(asid)
+		fmt.Printf("app %d: miss rate %.4f over %d accesses, partition %d molecules, rows %v\n",
+			asid, hm.MissRate(), hm.Accesses(), r.MoleculeCount(), r.Rows())
+	}
+
+	// The looping app is unharmed by its streaming neighbour — the
+	// ASID-gated partitions isolate them (the paper's Table 1 problem,
+	// solved). The streaming app's partition is kept small because more
+	// molecules would not help it (Algorithm 1's payoff audit).
+	fmt.Printf("\naverage deviation from the 10%% goal: %.4f\n",
+		molcache.AverageDeviation(ledger, molcache.UniformGoals(0.10, 1, 2)))
+	fmt.Printf("molecules probed per access (energy proxy): %.1f of %d\n",
+		sim.Cache.AverageProbes(), sim.Cache.TotalMolecules())
+}

@@ -1,0 +1,3 @@
+module molcache
+
+go 1.22

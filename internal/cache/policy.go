@@ -1,0 +1,188 @@
+// Package cache implements the trace-driven set-associative cache models
+// the paper uses as baselines (direct mapped through 8-way, Figure 5 and
+// Table 2) and as the shared L2 of the motivating Table 1 experiment. It
+// is the repository's stand-in for the authors' modified Dinero.
+package cache
+
+import "molcache/internal/rng"
+
+// Policy selects replacement victims within a set. Implementations hold
+// per-set state sized at construction.
+type Policy interface {
+	// Name identifies the policy ("LRU", "FIFO", ...).
+	Name() string
+	// Touch records a hit on (set, way).
+	Touch(set, way int)
+	// Insert records a fill into (set, way).
+	Insert(set, way int)
+	// Victim returns the way to evict from set, assuming every way is
+	// valid (the cache fills invalid ways first).
+	Victim(set int) int
+}
+
+// PolicyKind names a replacement policy for configuration.
+type PolicyKind string
+
+// The replacement policies discussed in the paper (§3.3) plus tree-PLRU,
+// a common hardware approximation included for ablations.
+const (
+	LRU    PolicyKind = "LRU"
+	FIFO   PolicyKind = "FIFO"
+	Random PolicyKind = "Random"
+	PLRU   PolicyKind = "PLRU"
+)
+
+// NewPolicy constructs per-set policy state for sets x ways.
+// The seed only matters for Random.
+func NewPolicy(kind PolicyKind, sets, ways int, seed uint64) Policy {
+	switch kind {
+	case LRU:
+		return newLRU(sets, ways)
+	case FIFO:
+		return newFIFO(sets, ways)
+	case Random:
+		return &randomPolicy{ways: ways, src: rng.New(seed)}
+	case PLRU:
+		return newPLRU(sets, ways)
+	default:
+		panic("cache: unknown policy kind " + string(kind))
+	}
+}
+
+// lruPolicy tracks a per-(set,way) age stamp; the victim is the way with
+// the smallest stamp. O(ways) victim search is fine at ways <= 16.
+type lruPolicy struct {
+	ways  int
+	clock uint64
+	stamp []uint64 // sets*ways
+}
+
+func newLRU(sets, ways int) *lruPolicy {
+	return &lruPolicy{ways: ways, stamp: make([]uint64, sets*ways)}
+}
+
+func (p *lruPolicy) Name() string { return string(LRU) }
+
+func (p *lruPolicy) Touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+func (p *lruPolicy) Insert(set, way int) { p.Touch(set, way) }
+
+func (p *lruPolicy) Victim(set int) int {
+	base := set * p.ways
+	victim, min := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			victim, min = w, s
+		}
+	}
+	return victim
+}
+
+// fifoPolicy evicts in insertion order; hits do not refresh.
+type fifoPolicy struct {
+	ways  int
+	clock uint64
+	stamp []uint64
+}
+
+func newFIFO(sets, ways int) *fifoPolicy {
+	return &fifoPolicy{ways: ways, stamp: make([]uint64, sets*ways)}
+}
+
+func (p *fifoPolicy) Name() string { return string(FIFO) }
+
+func (p *fifoPolicy) Touch(int, int) {}
+
+func (p *fifoPolicy) Insert(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+func (p *fifoPolicy) Victim(set int) int {
+	base := set * p.ways
+	victim, min := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < min {
+			victim, min = w, s
+		}
+	}
+	return victim
+}
+
+// randomPolicy picks a uniform victim.
+type randomPolicy struct {
+	ways int
+	src  *rng.Source
+}
+
+func (p *randomPolicy) Name() string    { return string(Random) }
+func (p *randomPolicy) Touch(int, int)  {}
+func (p *randomPolicy) Insert(int, int) {}
+func (p *randomPolicy) Victim(int) int  { return p.src.Intn(p.ways) }
+
+// plruPolicy implements tree pseudo-LRU: ways-1 direction bits per set.
+// Requires power-of-two ways.
+type plruPolicy struct {
+	ways int
+	bits [][]bool // per set, ways-1 internal nodes
+}
+
+func newPLRU(sets, ways int) *plruPolicy {
+	if ways&(ways-1) != 0 {
+		panic("cache: PLRU requires power-of-two associativity")
+	}
+	bits := make([][]bool, sets)
+	for i := range bits {
+		bits[i] = make([]bool, ways-1)
+	}
+	return &plruPolicy{ways: ways, bits: bits}
+}
+
+func (p *plruPolicy) Name() string { return string(PLRU) }
+
+// touch walks from the root to the leaf for way, pointing every node
+// away from the accessed way.
+func (p *plruPolicy) touch(set, way int) {
+	if p.ways == 1 {
+		return
+	}
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		goRight := way >= mid
+		p.bits[set][node] = !goRight // point away from the touched half
+		if goRight {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+}
+
+func (p *plruPolicy) Touch(set, way int)  { p.touch(set, way) }
+func (p *plruPolicy) Insert(set, way int) { p.touch(set, way) }
+
+func (p *plruPolicy) Victim(set int) int {
+	if p.ways == 1 {
+		return 0
+	}
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.bits[set][node] { // bit true points right
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}

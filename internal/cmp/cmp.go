@@ -1,0 +1,295 @@
+// Package cmp is the repository's SESC substitute: a trace-level chip
+// multiprocessor model. N cores each run a workload generator through a
+// private write-back L1 data cache; L1 misses go to a shared L2 (any
+// engine.Cache — a traditional cache for the paper's baselines and
+// Table 1, a molecular cache for the proposal). A directory-based MESI
+// protocol (internal/coherence) keeps the private L1s coherent, and the system can
+// capture the L1-miss reference stream — the trace the paper feeds into
+// its modified Dinero.
+package cmp
+
+import (
+	"fmt"
+
+	"molcache/internal/addr"
+	"molcache/internal/cache"
+	"molcache/internal/coherence"
+	"molcache/internal/engine"
+	"molcache/internal/stats"
+	"molcache/internal/trace"
+	"molcache/internal/workload"
+)
+
+// Latency models the memory-hierarchy timing that paces each core. An
+// L2-miss-bound application issues references far more slowly than an
+// L1-resident one — the throttling that shapes the paper's Table 1 (art
+// survives next to mcf because mcf, stalled on memory, cannot flood the
+// shared L2 with evictions).
+type Latency struct {
+	// L1Hit is the cost of an L1 hit in cycles (default 1).
+	L1Hit uint64
+	// L2Hit is the L1-miss/L2-hit round trip (default 12).
+	L2Hit uint64
+	// Memory is the L2-miss round trip to DRAM (default 200).
+	Memory uint64
+}
+
+// Config parameterizes the CMP substrate.
+type Config struct {
+	// L1 is the private data-cache geometry for every core
+	// (default 16 KB 4-way 64 B LRU, a typical 2006 L1-D).
+	L1 cache.Config
+	// Latency paces the cores (defaults above). Cores are in-order
+	// with one outstanding miss, a fair model for 2006-era CMPs.
+	Latency Latency
+	// CaptureL1Misses records the L1-miss stream for replay.
+	CaptureL1Misses bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.L1.Size == 0 {
+		c.L1 = cache.Config{Size: 16 * addr.KB, Ways: 4, LineSize: 64, Policy: cache.LRU}
+	}
+	if c.Latency.L1Hit == 0 {
+		c.Latency.L1Hit = 1
+	}
+	if c.Latency.L2Hit == 0 {
+		c.Latency.L2Hit = 12
+	}
+	if c.Latency.Memory == 0 {
+		c.Latency.Memory = 200
+	}
+	return c
+}
+
+// CoherenceStats counts MESI protocol events among the private L1s.
+type CoherenceStats struct {
+	// Invalidations is the number of L1 copies killed by remote writes.
+	Invalidations uint64
+	// Interventions is the number of misses supplied by a peer L1
+	// holding a dirty copy (which writes back first).
+	Interventions uint64
+	// WritebacksForced is the number of dirty-copy writebacks forced by
+	// the protocol.
+	WritebacksForced uint64
+	// Downgrades is the number of M/E copies demoted to Shared by
+	// remote reads.
+	Downgrades uint64
+	// SilentUpgrades counts traffic-free E -> M transitions.
+	SilentUpgrades uint64
+}
+
+// core is one processor: a workload, an ASID, a private L1, and the
+// cycle at which its next reference can issue.
+type core struct {
+	id      uint8
+	asid    uint16
+	gen     workload.Generator
+	l1      *cache.Cache
+	readyAt uint64
+	cycles  uint64 // total stall+issue cycles consumed
+	refs    uint64
+}
+
+// System is the CMP: cores round-robin into the shared L2.
+type System struct {
+	cfg   Config
+	cores []*core
+	l2    engine.Cache
+
+	// dir is the MESI directory. It is a conservative superset of the
+	// truth: L1 replacements are silent (the L1 model does not report
+	// evicted addresses), so the directory may list sharers that have
+	// already dropped a line; invalidating or downgrading an absent
+	// line is a no-op and the hit/miss behaviour stays exact.
+	dir *coherence.Directory
+
+	l1Ledger stats.Ledger // per-ASID L1 hit/miss
+	captured []trace.Ref
+	issued   uint64
+
+	// OnL2Access, when set, observes every L2 access (the resize
+	// controller's Tick hooks in here).
+	OnL2Access func(trace.Ref, engine.Result)
+}
+
+// New builds a CMP over the shared L2.
+func New(l2 engine.Cache, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.L1.Validate(); err != nil {
+		return nil, fmt.Errorf("cmp: bad L1 config: %w", err)
+	}
+	return &System{
+		cfg: cfg,
+		l2:  l2,
+		dir: coherence.NewDirectory(),
+	}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(l2 engine.Cache, cfg Config) *System {
+	s, err := New(l2, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AddCore attaches a core running gen under asid. Core IDs are assigned
+// in order; at most coherence.MaxCaches cores.
+func (s *System) AddCore(asid uint16, gen workload.Generator) error {
+	if len(s.cores) >= coherence.MaxCaches {
+		return fmt.Errorf("cmp: at most %d cores supported", coherence.MaxCaches)
+	}
+	l1, err := cache.New(s.cfg.L1)
+	if err != nil {
+		return err
+	}
+	s.cores = append(s.cores, &core{
+		id:   uint8(len(s.cores)),
+		asid: asid,
+		gen:  gen,
+		l1:   l1,
+	})
+	return nil
+}
+
+// Cores returns the number of attached cores.
+func (s *System) Cores() int { return len(s.cores) }
+
+// L2 returns the shared cache.
+func (s *System) L2() engine.Cache { return s.l2 }
+
+// L1Ledger returns per-ASID L1 hit/miss counts.
+func (s *System) L1Ledger() *stats.Ledger { return &s.l1Ledger }
+
+// Coherence returns protocol event counts.
+func (s *System) Coherence() CoherenceStats {
+	ds := s.dir.Stats()
+	return CoherenceStats{
+		Invalidations:    ds.Invalidations,
+		Interventions:    ds.Writebacks,
+		WritebacksForced: ds.Writebacks,
+		Downgrades:       ds.Downgrades,
+		SilentUpgrades:   ds.SilentUpgrades,
+	}
+}
+
+// Captured returns the recorded L1-miss trace (nil unless enabled).
+func (s *System) Captured() []trace.Ref { return s.captured }
+
+// Issued returns the total references issued by all cores.
+func (s *System) Issued() uint64 { return s.issued }
+
+// Step issues one reference from the next ready core (the core with the
+// smallest readyAt cycle, lowest ID on ties) and returns its core ID.
+// Identical cores interleave round-robin; a miss-bound core naturally
+// falls behind by its stall cycles.
+func (s *System) Step() uint8 {
+	c := s.cores[0]
+	for _, x := range s.cores[1:] {
+		if x.readyAt < c.readyAt {
+			c = x
+		}
+	}
+	s.issue(c)
+	return c.id
+}
+
+// Run issues total references across the cores under the timing model.
+func (s *System) Run(total int) {
+	if len(s.cores) == 0 {
+		return
+	}
+	for i := 0; i < total; i++ {
+		s.Step()
+	}
+}
+
+// Cycle returns the cycle count of the furthest-advanced core.
+func (s *System) Cycle() uint64 {
+	var max uint64
+	for _, c := range s.cores {
+		if c.readyAt > max {
+			max = c.readyAt
+		}
+	}
+	return max
+}
+
+// CoreCPI returns cycles-per-reference for the core running asid
+// (0 when several cores share the ASID sums are combined).
+func (s *System) CoreCPI(asid uint16) float64 {
+	var cycles, refs uint64
+	for _, c := range s.cores {
+		if c.asid == asid {
+			cycles += c.cycles
+			refs += c.refs
+		}
+	}
+	if refs == 0 {
+		return 0
+	}
+	return float64(cycles) / float64(refs)
+}
+
+// issue pushes one reference from core c through L1, coherence and L2.
+func (s *System) issue(c *core) {
+	acc := c.gen.Next()
+	ref := trace.Ref{Addr: acc.Addr, ASID: c.asid, CPU: c.id, Kind: trace.Read}
+	if acc.Write {
+		ref.Kind = trace.Write
+	}
+	s.issued++
+	line := addr.LineAlign(ref.Addr, s.cfg.L1.LineSize)
+
+	l1res := c.l1.Access(ref)
+	s.l1Ledger.Record(ref.ASID, l1res.Hit)
+	c.refs++
+
+	// Drive the MESI directory: every write consults it (a write hit on
+	// a Shared line still needs an ownership upgrade); read hits are
+	// quiet (the holder is already at least Shared).
+	if ref.Kind == trace.Write {
+		s.apply(s.dir.Write(line, int(c.id)), line)
+	} else if !l1res.Hit {
+		s.apply(s.dir.Read(line, int(c.id)), line)
+	}
+
+	if l1res.Hit {
+		c.cycles += s.cfg.Latency.L1Hit
+		c.readyAt += s.cfg.Latency.L1Hit
+		return
+	}
+
+	if s.cfg.CaptureL1Misses {
+		s.captured = append(s.captured, ref)
+	}
+	l2res := s.l2.Access(ref)
+	if s.OnL2Access != nil {
+		s.OnL2Access(ref, l2res)
+	}
+	lat := s.cfg.Latency.L2Hit
+	if !l2res.Hit {
+		lat = s.cfg.Latency.Memory
+	}
+	c.cycles += lat
+	c.readyAt += lat
+}
+
+// apply performs the cache-side effects of a directory action:
+// invalidations and downgrades on the peer L1s.
+func (s *System) apply(act coherence.Action, line uint64) {
+	if act.InvalidateMask == 0 && act.DowngradeMask == 0 {
+		return
+	}
+	for i, c := range s.cores {
+		bit := uint16(1) << uint(i)
+		if act.InvalidateMask&bit != 0 {
+			c.l1.Invalidate(line)
+		}
+		if act.DowngradeMask&bit != 0 {
+			c.l1.Downgrade(line)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"testing"
+
+	"molcache/internal/trace"
+)
+
+// toyCache hits on every second access to the same line.
+type toyCache struct {
+	seen map[uint64]bool
+}
+
+func (t *toyCache) Name() string { return "toy" }
+
+func (t *toyCache) Access(r trace.Ref) Result {
+	line := r.Addr / 64
+	if t.seen[line] {
+		return Result{Hit: true, TagProbes: 1, DataReads: 1}
+	}
+	t.seen[line] = true
+	return Result{LinesFetched: 1, TagProbes: 1}
+}
+
+func TestRunCountsHitsAndMisses(t *testing.T) {
+	c := &toyCache{seen: map[uint64]bool{}}
+	refs := []trace.Ref{
+		{Addr: 0}, {Addr: 0}, {Addr: 64}, {Addr: 64}, {Addr: 128},
+	}
+	hits, misses := Run(c, refs)
+	if hits != 2 || misses != 3 {
+		t.Errorf("Run = (%d, %d), want (2, 3)", hits, misses)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	c := &toyCache{seen: map[uint64]bool{}}
+	hits, misses := Run(c, nil)
+	if hits != 0 || misses != 0 {
+		t.Errorf("Run(empty) = (%d, %d)", hits, misses)
+	}
+}

@@ -1,0 +1,148 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section. Each experiment is a pure function from Options to
+// typed result rows; cmd/experiments renders them and bench_test.go wraps
+// each as a benchmark.
+//
+// Methodology (mirroring the paper's): the CMP substrate (internal/cmp,
+// standing in for SESC) runs the workload models and captures the L1-miss
+// reference stream; that stream is replayed into each cache under study
+// (internal/cache / internal/molecular, standing in for the modified
+// Dinero); CACTI-style power numbers come from internal/power.
+package experiments
+
+import (
+	"fmt"
+
+	"molcache/internal/cache"
+	"molcache/internal/cmp"
+	"molcache/internal/engine"
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/trace"
+	"molcache/internal/workload"
+)
+
+// Options scales the experiments. The zero value gets defaults sized for
+// the full reproduction; tests and quick runs shrink ProcessorRefs.
+type Options struct {
+	// ProcessorRefs is the number of per-experiment processor-side
+	// references driven through the CMP (the L2 sees roughly 10-20% of
+	// them after L1 filtering; the paper's L2 traces hold 3.9M refs).
+	ProcessorRefs int
+	// Seed makes every stochastic choice reproducible.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProcessorRefs == 0 {
+		o.ProcessorRefs = 48_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 2006 // the paper's publication year; any constant works
+	}
+	return o
+}
+
+// appBase separates application address spaces: app i lives at i<<36.
+func appBase(asid uint16) uint64 { return uint64(asid) << 36 }
+
+// mixSpec names the applications of one concurrent mix, in core order;
+// ASIDs are assigned 1..n.
+type mixSpec []string
+
+// buildCMP assembles a CMP running the mix over the given shared L2.
+func buildCMP(l2 engine.Cache, mix mixSpec, seed uint64, capture bool) (*cmp.System, error) {
+	sys, err := cmp.New(l2, cmp.Config{CaptureL1Misses: capture})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range mix {
+		asid := uint16(i + 1)
+		gen, err := workload.New(name, appBase(asid), seed+uint64(asid)*1000)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddCore(asid, gen); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// captureTrace runs the mix over a reference L2 and returns the L1-miss
+// stream. Which lines miss the L1 does not depend on the L2, but the
+// *interleaving* does (cores stall on L2 misses), so the capture uses the
+// paper's 1 MB 4-way shared L2 as the reference timing substrate.
+func captureTrace(mix mixSpec, processorRefs int, seed uint64) ([]trace.Ref, error) {
+	l2 := cache.MustNew(cache.Config{Size: 1 << 20, Ways: 4, LineSize: 64})
+	sys, err := buildCMP(l2, mix, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(processorRefs)
+	return sys.Captured(), nil
+}
+
+// replayTraditional replays refs into a fresh traditional cache and
+// returns it for inspection.
+func replayTraditional(cfg cache.Config, refs []trace.Ref) (*cache.Cache, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		c.Access(r)
+	}
+	return c, nil
+}
+
+// molecularRun couples a molecular cache with its resize controller.
+type molecularRun struct {
+	Cache *molecular.Cache
+	Ctrl  *resize.Controller
+}
+
+// placement pins an application's partition to a home cluster and tile.
+type placement struct{ Cluster, Tile int }
+
+// replayMolecular replays refs into a fresh molecular cache driven by a
+// resize controller with the given goals. Applications are admitted on
+// first touch unless placements pre-assigns their homes.
+func replayMolecular(mcfg molecular.Config, rcfg resize.Config,
+	placements map[uint16]placement, refs []trace.Ref) (*molecularRun, error) {
+	mc, err := molecular.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	for asid, p := range placements {
+		if _, err := mc.CreateRegion(asid, molecular.RegionOptions{
+			HomeCluster: p.Cluster,
+			HomeTile:    p.Tile,
+		}); err != nil {
+			return nil, fmt.Errorf("experiments: placing ASID %d: %w", asid, err)
+		}
+	}
+	ctrl, err := resize.New(mc, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		mc.Access(r)
+		ctrl.Tick()
+	}
+	return &molecularRun{Cache: mc, Ctrl: ctrl}, nil
+}
+
+// fourTileMolecular is Figure 5's molecular configuration: 4 tiles in one
+// cluster, tile size = total/4, 8 KB molecules.
+func fourTileMolecular(totalSize uint64, policy molecular.ReplacementKind, seed uint64) molecular.Config {
+	return molecular.Config{
+		TotalSize:       totalSize,
+		MoleculeSize:    8 << 10,
+		LineSize:        64,
+		TilesPerCluster: 4,
+		Clusters:        1,
+		Policy:          policy,
+		Seed:            seed,
+	}
+}

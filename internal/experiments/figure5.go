@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"sort"
+
+	"molcache/internal/addr"
+	"molcache/internal/cache"
+	"molcache/internal/metrics"
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/stats"
+	"molcache/internal/trace"
+)
+
+// Figure5Mix is the four-benchmark SPEC mix of the Figure 5 study, in
+// core/ASID order (ASIDs 1..4).
+var Figure5Mix = mixSpec{"art", "mcf", "ammp", "parser"}
+
+// Figure5Sizes are the evaluated total cache sizes.
+var Figure5Sizes = []uint64{1 * addr.MB, 2 * addr.MB, 4 * addr.MB, 8 * addr.MB}
+
+// Figure5Configs names the evaluated configurations in plot order.
+var Figure5Configs = []string{
+	"DM", "2-way", "4-way", "8-way", "Molecular (Random)", "Molecular (Randy)",
+}
+
+// Figure5Point is one (configuration, size) cell of Figure 5: the average
+// deviation from the 10% miss-rate goal, for Graph A (goal on all four
+// benchmarks) and Graph B (goal on art, ammp and parser only).
+type Figure5Point struct {
+	Config     string
+	Size       uint64
+	DeviationA float64
+	DeviationB float64
+	// PerAppMiss records the per-benchmark miss rates behind the
+	// deviations (Graph A run for molecular configs).
+	PerAppMiss map[string]float64
+}
+
+// figure5Goal is the paper's miss-rate goal for this study.
+const figure5Goal = 0.10
+
+// figure5GoalsA covers all four benchmarks, figure5GoalsB exempts mcf.
+func figure5GoalsA() metrics.Goals { return metrics.UniformGoals(figure5Goal, 1, 2, 3, 4) }
+func figure5GoalsB() metrics.Goals { return metrics.UniformGoals(figure5Goal, 1, 3, 4) }
+
+// resizeGoals converts a metrics goal set into resize-controller goals.
+func resizeGoals(g metrics.Goals) map[uint16]float64 {
+	out := make(map[uint16]float64, len(g))
+	for asid, goal := range g {
+		out[asid] = goal
+	}
+	return out
+}
+
+// Figure5 runs the study: one captured L1-miss trace of the concurrent
+// four-benchmark mix, replayed into every (configuration, size) cell.
+// Traditional caches are goal-blind, so one replay serves both graphs;
+// molecular caches resize toward their goals, so Graph A and Graph B get
+// separate runs and the reported deviation comes from each run's own
+// goal set.
+func Figure5(opt Options) ([]Figure5Point, error) {
+	opt = opt.withDefaults()
+	refs, err := captureTrace(Figure5Mix, opt.ProcessorRefs, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var points []Figure5Point
+	for _, size := range Figure5Sizes {
+		// Traditional baselines.
+		for ways, name := range map[int]string{1: "DM", 2: "2-way", 4: "4-way", 8: "8-way"} {
+			c, err := replayTraditional(cache.Config{
+				Size: size, Ways: ways, LineSize: 64, Policy: cache.LRU,
+			}, refs)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, Figure5Point{
+				Config:     name,
+				Size:       size,
+				DeviationA: metrics.AverageDeviation(c.Ledger(), figure5GoalsA()),
+				DeviationB: metrics.AverageDeviation(c.Ledger(), figure5GoalsB()),
+				PerAppMiss: perAppMiss(c.Ledger(), Figure5Mix),
+			})
+		}
+		// Molecular configurations: Random and Randy, each run twice
+		// (Graph A and Graph B goal sets drive different resizing).
+		for _, policy := range []molecular.ReplacementKind{
+			molecular.RandomReplacement, molecular.RandyReplacement,
+		} {
+			p := Figure5Point{
+				Config: "Molecular (" + string(policy) + ")",
+				Size:   size,
+			}
+			runA, err := figure5Molecular(size, policy, figure5GoalsA(), refs, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			p.DeviationA = metrics.AverageDeviation(runA.Cache.Ledger(), figure5GoalsA())
+			p.PerAppMiss = perAppMiss(runA.Cache.Ledger(), Figure5Mix)
+			runB, err := figure5Molecular(size, policy, figure5GoalsB(), refs, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			p.DeviationB = metrics.AverageDeviation(runB.Cache.Ledger(), figure5GoalsB())
+			points = append(points, p)
+		}
+	}
+	sortFigure5(points)
+	return points, nil
+}
+
+// figure5Molecular replays into the 4-tile molecular configuration with
+// app i pinned to tile i-1 (the paper's static processor-tile binding).
+func figure5Molecular(size uint64, policy molecular.ReplacementKind,
+	goals metrics.Goals, refs []trace.Ref, seed uint64) (*molecularRun, error) {
+	placements := map[uint16]placement{}
+	for asid := uint16(1); asid <= 4; asid++ {
+		placements[asid] = placement{Cluster: 0, Tile: int(asid - 1)}
+	}
+	return replayMolecular(
+		fourTileMolecular(size, policy, seed),
+		resize.Config{Trigger: resize.AdaptiveGlobal, Goals: resizeGoals(goals)},
+		placements, refs)
+}
+
+// perAppMiss extracts miss rates keyed by benchmark name.
+func perAppMiss(l *stats.Ledger, mix mixSpec) map[string]float64 {
+	out := make(map[string]float64, len(mix))
+	for i, name := range mix {
+		out[name] = l.App(uint16(i + 1)).MissRate()
+	}
+	return out
+}
+
+// sortFigure5 orders points by size then configuration plot order.
+func sortFigure5(points []Figure5Point) {
+	rank := map[string]int{}
+	for i, n := range Figure5Configs {
+		rank[n] = i
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Size != points[j].Size {
+			return points[i].Size < points[j].Size
+		}
+		return rank[points[i].Config] < rank[points[j].Config]
+	})
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"molcache/internal/addr"
+	"molcache/internal/cache"
+	"molcache/internal/engine"
+	"molcache/internal/metrics"
+	"molcache/internal/molecular"
+	"molcache/internal/partition"
+	"molcache/internal/resize"
+	"molcache/internal/stackdist"
+	"molcache/internal/stats"
+)
+
+// RelatedWorkRow compares one partitioning scheme from the paper's
+// related-work section against the molecular cache on the four-benchmark
+// SPEC mix (2 MB total, 10% miss-rate goal on the three feasible
+// applications — Figure 5's Graph B criterion, evaluated at its 2 MB
+// crossover size).
+type RelatedWorkRow struct {
+	Name      string
+	Deviation float64
+	// PerAppMiss records each benchmark's miss rate.
+	PerAppMiss map[string]float64
+}
+
+// relatedSize is the study's total capacity: 2 MB is where Figure 5's
+// Graph B shows the schemes separating.
+const relatedSize = 2 * addr.MB
+
+// RelatedWork runs the comparison: unmanaged shared LRU, Suh's
+// ModifiedLRU (equal block quotas), column caching (equal way split), a
+// POCA-style home-bank cache, and the molecular cache (Randy, resized
+// toward the goal). One captured trace serves every scheme.
+func RelatedWork(opt Options) ([]RelatedWorkRow, error) {
+	opt = opt.withDefaults()
+	refs, err := captureTrace(Figure5Mix, opt.ProcessorRefs, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	goals := figure5GoalsB()
+
+	var rows []RelatedWorkRow
+	add := func(c engine.Cache, ledger ledgerer) {
+		rows = append(rows, RelatedWorkRow{
+			Name:       c.Name(),
+			Deviation:  metrics.AverageDeviation(ledger.Ledger(), goals),
+			PerAppMiss: perAppMiss(ledger.Ledger(), Figure5Mix),
+		})
+	}
+
+	// Unmanaged shared LRU.
+	shared, err := replayTraditional(cache.Config{
+		Size: relatedSize, Ways: 8, LineSize: 64, Policy: cache.LRU,
+	}, refs)
+	if err != nil {
+		return nil, err
+	}
+	add(shared, shared)
+
+	// Suh's ModifiedLRU with equal block quotas.
+	mlru, err := partition.NewModifiedLRU(relatedSize, 8, 64, relatedSize/64/4)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		mlru.Access(r)
+	}
+	add(mlru, mlru)
+
+	// ModifiedLRU with oracle quotas: a stack-distance profile of the
+	// same trace feeds Suh's marginal-gain allocator with perfect
+	// information — the strongest static baseline.
+	prof := stackdist.New(64)
+	for _, r := range refs {
+		prof.Record(r.ASID, r.Addr)
+	}
+	curves := map[uint16]*stackdist.Curve{}
+	for _, a := range prof.ASIDs() {
+		c, err := prof.Curve(a)
+		if err != nil {
+			return nil, err
+		}
+		curves[a] = c
+	}
+	oracleGoals := map[uint16]float64{}
+	for asid, g := range goals {
+		oracleGoals[asid] = g
+	}
+	alloc, err := stackdist.OraclePartition(curves, oracleGoals,
+		int(relatedSize/64), 128 /* one 8KB molecule of lines */)
+	if err != nil {
+		return nil, err
+	}
+	omlru, err := partition.NewModifiedLRU(relatedSize, 8, 64, 1)
+	if err != nil {
+		return nil, err
+	}
+	for asid, lines := range alloc.Lines {
+		omlru.SetQuota(asid, uint64(lines))
+	}
+	for _, r := range refs {
+		omlru.Access(r)
+	}
+	rows = append(rows, RelatedWorkRow{
+		Name:       "2MB 8-way ModifiedLRU (oracle quotas)",
+		Deviation:  metrics.AverageDeviation(omlru.Ledger(), goals),
+		PerAppMiss: perAppMiss(omlru.Ledger(), Figure5Mix),
+	})
+
+	// Column caching with an equal way split.
+	col, err := partition.NewColumnCache(relatedSize, 8, 64)
+	if err != nil {
+		return nil, err
+	}
+	if err := col.AssignEqualColumns(1, 2, 3, 4); err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		col.Access(r)
+	}
+	add(col, col)
+
+	// POCA-style home banks: one 512 KB bank per application.
+	hb, err := partition.NewHomeBank(4, relatedSize/4, 4, 64)
+	if err != nil {
+		return nil, err
+	}
+	for asid := uint16(1); asid <= 4; asid++ {
+		if err := hb.SetHome(asid, int(asid-1)); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range refs {
+		hb.Access(r)
+	}
+	add(hb, hb)
+
+	// The molecular cache with goal-driven resizing, both policies.
+	placements := map[uint16]placement{}
+	for asid := uint16(1); asid <= 4; asid++ {
+		placements[asid] = placement{Cluster: 0, Tile: int(asid - 1)}
+	}
+	for _, policy := range []molecular.ReplacementKind{
+		molecular.RandomReplacement, molecular.RandyReplacement,
+	} {
+		run, err := replayMolecular(
+			fourTileMolecular(relatedSize, policy, opt.Seed),
+			resize.Config{Trigger: resize.AdaptiveGlobal, Goals: resizeGoals(goals)},
+			placements, refs)
+		if err != nil {
+			return nil, err
+		}
+		add(run.Cache, run.Cache)
+	}
+	return rows, nil
+}
+
+// ledgerer is the per-ASID accounting every scheme here exposes.
+type ledgerer interface {
+	Ledger() *stats.Ledger
+}

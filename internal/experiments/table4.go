@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"molcache/internal/addr"
+	"molcache/internal/molecular"
+	"molcache/internal/power"
+	"molcache/internal/resize"
+)
+
+// Table3Config is the molecular configuration of the power study
+// (the paper's Table 3): 8 MB, 8 KB molecules, 512 KB tiles, 4 clusters
+// of 4 tiles, one port per cluster.
+func Table3Config() power.MolecularGeometry {
+	return power.MolecularGeometry{
+		TotalBytes:      8 * addr.MB,
+		MoleculeBytes:   8 * addr.KB,
+		LineBytes:       64,
+		TileMolecules:   64,
+		PortsPerCluster: 1,
+	}
+}
+
+// Table4Row is one traditional cache with the molecular comparison at
+// that cache's operating frequency (the paper's Table 4 layout).
+type Table4Row struct {
+	// Name is the traditional configuration ("8MB DM", ...).
+	Name string
+	// FreqMHz is the traditional cache's frequency from the model.
+	FreqMHz float64
+	// PowerW is the traditional cache's dynamic power at FreqMHz.
+	PowerW float64
+	// MolWorstW is the molecular cache's worst-case power (all tile
+	// molecules enabled) at FreqMHz.
+	MolWorstW float64
+	// MolAvgW is the molecular power using the measured mixed-workload
+	// average probe count at FreqMHz.
+	MolAvgW float64
+}
+
+// Table4Result carries the rows plus the measured probe statistics.
+type Table4Result struct {
+	Rows []Table4Row
+	// AvgProbes is the measured mean molecules probed per access in
+	// the 8 MB mixed-workload molecular run.
+	AvgProbes float64
+	// MolEstimate is the power model's view of the molecule.
+	MolEstimate power.MolecularEstimate
+}
+
+// Table4 builds the power comparison. The mixed-workload average case
+// needs measured probe counts, so the captured Table 2 trace is replayed
+// into the paper's 8 MB / 4-cluster molecular configuration.
+func Table4(opt Options, t2 *Table2Result) (*Table4Result, error) {
+	opt = opt.withDefaults()
+	me, err := power.ModelMolecular(Table3Config(), power.Tech70)
+	if err != nil {
+		return nil, err
+	}
+	// Measure average probes on the 8 MB configuration: 12 apps in 4
+	// clusters of 3 (tile j of each cluster hosts at most one app plus
+	// spillover).
+	placements := make(map[uint16]placement, 12)
+	for i := 0; i < 12; i++ {
+		placements[uint16(i+1)] = placement{Cluster: i / 3, Tile: i % 3}
+	}
+	run, err := replayMolecular(molecular.Config{
+		TotalSize:       8 * addr.MB,
+		MoleculeSize:    8 * addr.KB,
+		LineSize:        64,
+		TilesPerCluster: 4,
+		Clusters:        4,
+		Policy:          molecular.RandyReplacement,
+		Seed:            opt.Seed,
+	}, resize.Config{
+		Trigger: resize.AdaptiveGlobal,
+		Goals:   resizeGoals(table2Goals()),
+	}, placements, t2.Trace)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{
+		AvgProbes:   run.Cache.AverageProbes(),
+		MolEstimate: me,
+	}
+	for _, ways := range []int{1, 2, 4, 8} {
+		est, err := power.Model(power.Geometry{
+			SizeBytes: 8 * addr.MB, Assoc: ways, LineBytes: 64, Ports: 4,
+		}, power.Tech70)
+		if err != nil {
+			return nil, err
+		}
+		f := est.FrequencyMHz()
+		res.Rows = append(res.Rows, Table4Row{
+			Name:      est.Geometry.Name(),
+			FreqMHz:   f,
+			PowerW:    est.PowerWatts(f),
+			MolWorstW: power.PowerWatts(me.WorstCaseEnergy(), f),
+			MolAvgW:   power.PowerWatts(me.AccessEnergy(int(res.AvgProbes+0.5)), f),
+		})
+	}
+	return res, nil
+}

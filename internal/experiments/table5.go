@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"molcache/internal/addr"
+	"molcache/internal/metrics"
+	"molcache/internal/power"
+)
+
+// Table5Row compares the power-deviation product of one traditional
+// cache against the 6 MB molecular cache (Randy) evaluated at the same
+// frequency, per the paper's Table 5.
+type Table5Row struct {
+	Name string
+	// TradPD is the traditional cache's power x deviation.
+	TradPD float64
+	// MolPD is the molecular cache's power (average mixed-workload
+	// energy at the traditional cache's frequency) x deviation.
+	MolPD float64
+}
+
+// Table5 derives the power-deviation products from the Table 2
+// deviations and the Table 4 power model.
+func Table5(t2 *Table2Result, t4 *Table4Result) ([]Table5Row, error) {
+	dev := map[string]float64{}
+	for _, r := range t2.Rows {
+		dev[r.Name] = r.Deviation
+	}
+	molDev, ok := dev["6MB Molecular (Randy)"]
+	if !ok {
+		return nil, fmt.Errorf("experiments: Table2 result lacks the 6MB Randy row")
+	}
+	molE := t4.MolEstimate.AccessEnergy(int(t4.AvgProbes + 0.5))
+	var rows []Table5Row
+	for _, ways := range []int{4, 8} {
+		est, err := power.Model(power.Geometry{
+			SizeBytes: 8 * addr.MB, Assoc: ways, LineBytes: 64, Ports: 4,
+		}, power.Tech70)
+		if err != nil {
+			return nil, err
+		}
+		name := est.Geometry.Name()
+		d, ok := dev[name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: Table2 result lacks %q", name)
+		}
+		f := est.FrequencyMHz()
+		rows = append(rows, Table5Row{
+			Name:   name,
+			TradPD: metrics.PowerDeviation(est.PowerWatts(f), d),
+			MolPD:  metrics.PowerDeviation(power.PowerWatts(molE, f), molDev),
+		})
+	}
+	return rows, nil
+}
+
+// Headline is the paper's abstract claim: the molecular cache's power
+// advantage over an equivalently performing traditional cache.
+type Headline struct {
+	// Baseline is the smallest/cheapest traditional configuration whose
+	// deviation is no better than the molecular cache's.
+	Baseline string
+	// BaselineW and MolecularW compare dynamic power at the baseline's
+	// frequency (molecular worst case, as the paper reports).
+	BaselineW, MolecularW float64
+	// AdvantagePct is the relative saving (the paper reports 29%).
+	AdvantagePct float64
+	// BaselineDev and MolecularDev are the matched deviations.
+	BaselineDev, MolecularDev float64
+}
+
+// ComputeHeadline finds the equivalently performing traditional cache
+// (the one whose average deviation is closest to, and at least, the
+// molecular cache's) and compares power at its frequency.
+func ComputeHeadline(t2 *Table2Result, t4 *Table4Result) (*Headline, error) {
+	dev := map[string]float64{}
+	for _, r := range t2.Rows {
+		dev[r.Name] = r.Deviation
+	}
+	molDev, ok := dev["6MB Molecular (Randy)"]
+	if !ok {
+		return nil, fmt.Errorf("experiments: missing molecular deviation")
+	}
+	// The equivalently performing baseline: the traditional config with
+	// the smallest deviation (the paper's 8MB 8-way is its best
+	// traditional result, still above the 6MB molecular).
+	best := ""
+	bestDev := 0.0
+	for _, r := range t2.Rows {
+		if r.Name == "6MB Molecular (Randy)" || r.Name == "6MB Molecular (Random)" {
+			continue
+		}
+		if best == "" || r.Deviation < bestDev {
+			best, bestDev = r.Name, r.Deviation
+		}
+	}
+	var geo power.Geometry
+	switch best {
+	case "4MB 4-way":
+		geo = power.Geometry{SizeBytes: 4 * addr.MB, Assoc: 4, LineBytes: 64, Ports: 4}
+	case "4MB 8-way":
+		geo = power.Geometry{SizeBytes: 4 * addr.MB, Assoc: 8, LineBytes: 64, Ports: 4}
+	case "8MB 4-way":
+		geo = power.Geometry{SizeBytes: 8 * addr.MB, Assoc: 4, LineBytes: 64, Ports: 4}
+	case "8MB 8-way":
+		geo = power.Geometry{SizeBytes: 8 * addr.MB, Assoc: 8, LineBytes: 64, Ports: 4}
+	default:
+		return nil, fmt.Errorf("experiments: unexpected baseline %q", best)
+	}
+	est, err := power.Model(geo, power.Tech70)
+	if err != nil {
+		return nil, err
+	}
+	f := est.FrequencyMHz()
+	baseW := est.PowerWatts(f)
+	molW := power.PowerWatts(t4.MolEstimate.WorstCaseEnergy(), f)
+	return &Headline{
+		Baseline:     best,
+		BaselineW:    baseW,
+		MolecularW:   molW,
+		AdvantagePct: 100 * (baseW - molW) / baseW,
+		BaselineDev:  bestDev,
+		MolecularDev: molDev,
+	}, nil
+}

@@ -1,0 +1,114 @@
+// Package metrics computes the paper's QoS measures: the average
+// deviation from the miss-rate goal (Figure 5, Table 2), the hits-per-
+// molecule figure of merit for replacement policies (Figure 6), and the
+// power-deviation product (Table 5).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"molcache/internal/stats"
+)
+
+// Goals maps ASIDs to miss-rate goals. Applications absent from the map
+// carry no goal and are excluded from deviation averages (Figure 5's
+// Graph B measures only the three goal-bearing benchmarks).
+type Goals map[uint16]float64
+
+// UniformGoals gives every listed ASID the same goal.
+func UniformGoals(goal float64, asids ...uint16) Goals {
+	g := make(Goals, len(asids))
+	for _, a := range asids {
+		g[a] = goal
+	}
+	return g
+}
+
+// Deviation is one application's distance above its goal.
+type Deviation struct {
+	ASID     uint16
+	MissRate float64
+	Goal     float64
+	// Excess is max(0, MissRate-Goal): how far the application is
+	// failing its goal. Deviation below goal counts as zero — the goal
+	// was met (see DESIGN.md on this interpretation).
+	Excess float64
+}
+
+// Deviations evaluates every goal-bearing application against ledger.
+// ASIDs with a goal but no recorded accesses are skipped.
+func Deviations(ledger *stats.Ledger, goals Goals) []Deviation {
+	asids := make([]uint16, 0, len(goals))
+	for a := range goals {
+		asids = append(asids, a)
+	}
+	sort.Slice(asids, func(i, j int) bool { return asids[i] < asids[j] })
+	var out []Deviation
+	for _, a := range asids {
+		hm := ledger.App(a)
+		if hm.Accesses() == 0 {
+			continue
+		}
+		d := Deviation{ASID: a, MissRate: hm.MissRate(), Goal: goals[a]}
+		if d.MissRate > d.Goal {
+			d.Excess = d.MissRate - d.Goal
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// AverageDeviation is the paper's headline QoS metric: the mean excess
+// over the goal across the goal-bearing applications.
+func AverageDeviation(ledger *stats.Ledger, goals Goals) float64 {
+	ds := Deviations(ledger, goals)
+	if len(ds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range ds {
+		sum += d.Excess
+	}
+	return sum / float64(len(ds))
+}
+
+// HPM is the hit-rate-per-molecule figure for one application: its hit
+// rate divided by the (time-weighted average) number of molecules its
+// partition used. A policy achieving the same hit rate with fewer
+// molecules scores higher (Figure 6).
+type HPM struct {
+	ASID      uint16
+	Name      string
+	HitRate   float64
+	Molecules float64
+	Value     float64
+}
+
+// ComputeHPM builds the figure from a partition's hit/miss ledger and
+// average molecule usage.
+func ComputeHPM(asid uint16, name string, hm stats.HitMiss, avgMolecules float64) HPM {
+	h := HPM{
+		ASID:      asid,
+		Name:      name,
+		HitRate:   hm.HitRate(),
+		Molecules: avgMolecules,
+	}
+	if avgMolecules > 0 {
+		h.Value = h.HitRate / avgMolecules
+	}
+	return h
+}
+
+// PowerDeviation is the paper's combined QoS-and-power figure of merit
+// (Table 5): dynamic power multiplied by average deviation. Lower is
+// better on both axes.
+func PowerDeviation(powerWatts, avgDeviation float64) float64 {
+	return powerWatts * avgDeviation
+}
+
+// String renders a deviation row for logs.
+func (d Deviation) String() string {
+	return fmt.Sprintf("asid=%d miss=%.4f goal=%.2f excess=%.4f",
+		d.ASID, d.MissRate, d.Goal, d.Excess)
+}

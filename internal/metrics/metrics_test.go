@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"molcache/internal/stats"
+)
+
+func ledgerWith(t *testing.T, rates map[uint16][2]uint64) *stats.Ledger {
+	t.Helper()
+	var l stats.Ledger
+	for asid, hm := range rates {
+		for i := uint64(0); i < hm[0]; i++ {
+			l.Record(asid, true)
+		}
+		for i := uint64(0); i < hm[1]; i++ {
+			l.Record(asid, false)
+		}
+	}
+	return &l
+}
+
+func TestUniformGoals(t *testing.T) {
+	g := UniformGoals(0.1, 1, 2, 3)
+	if len(g) != 3 || g[2] != 0.1 {
+		t.Errorf("UniformGoals = %v", g)
+	}
+}
+
+func TestDeviationsExcessOnly(t *testing.T) {
+	// app 1: miss 0.25 vs goal 0.10 -> excess 0.15
+	// app 2: miss 0.05 vs goal 0.10 -> excess 0 (goal met)
+	l := ledgerWith(t, map[uint16][2]uint64{
+		1: {75, 25},
+		2: {95, 5},
+	})
+	ds := Deviations(l, UniformGoals(0.10, 1, 2))
+	if len(ds) != 2 {
+		t.Fatalf("got %d deviations", len(ds))
+	}
+	if math.Abs(ds[0].Excess-0.15) > 1e-9 {
+		t.Errorf("app 1 excess = %v, want 0.15", ds[0].Excess)
+	}
+	if ds[1].Excess != 0 {
+		t.Errorf("app 2 excess = %v, want 0", ds[1].Excess)
+	}
+}
+
+func TestAverageDeviation(t *testing.T) {
+	l := ledgerWith(t, map[uint16][2]uint64{
+		1: {75, 25}, // excess 0.15
+		2: {95, 5},  // excess 0
+	})
+	got := AverageDeviation(l, UniformGoals(0.10, 1, 2))
+	if math.Abs(got-0.075) > 1e-9 {
+		t.Errorf("AverageDeviation = %v, want 0.075", got)
+	}
+}
+
+func TestGoallessAppExcluded(t *testing.T) {
+	// App 3 (mcf in Graph B) misses badly but carries no goal.
+	l := ledgerWith(t, map[uint16][2]uint64{
+		1: {95, 5},
+		3: {10, 90},
+	})
+	got := AverageDeviation(l, UniformGoals(0.10, 1))
+	if got != 0 {
+		t.Errorf("AverageDeviation = %v, want 0 (only app 1 has a goal and meets it)", got)
+	}
+}
+
+func TestSilentAppSkipped(t *testing.T) {
+	l := ledgerWith(t, map[uint16][2]uint64{1: {50, 50}})
+	// App 9 has a goal but never ran.
+	got := AverageDeviation(l, UniformGoals(0.10, 1, 9))
+	if math.Abs(got-0.40) > 1e-9 {
+		t.Errorf("AverageDeviation = %v, want 0.40 (only the live app counts)", got)
+	}
+}
+
+func TestEmptyGoals(t *testing.T) {
+	l := ledgerWith(t, map[uint16][2]uint64{1: {1, 1}})
+	if got := AverageDeviation(l, nil); got != 0 {
+		t.Errorf("AverageDeviation with no goals = %v", got)
+	}
+}
+
+func TestComputeHPM(t *testing.T) {
+	hm := stats.HitMiss{Hits: 80, Misses: 20}
+	h := ComputeHPM(4, "parser", hm, 16)
+	if math.Abs(h.Value-0.05) > 1e-12 {
+		t.Errorf("HPM = %v, want 0.8/16 = 0.05", h.Value)
+	}
+	if h.Name != "parser" || h.ASID != 4 {
+		t.Errorf("HPM identity fields wrong: %+v", h)
+	}
+}
+
+func TestHPMZeroMolecules(t *testing.T) {
+	h := ComputeHPM(1, "x", stats.HitMiss{Hits: 1}, 0)
+	if h.Value != 0 {
+		t.Errorf("HPM with zero molecules = %v, want 0", h.Value)
+	}
+}
+
+// The comparative property the paper uses: equal hit rates, fewer
+// molecules -> higher HPM.
+func TestHPMRewardsFrugality(t *testing.T) {
+	hm := stats.HitMiss{Hits: 90, Misses: 10}
+	frugal := ComputeHPM(1, "a", hm, 10)
+	greedy := ComputeHPM(2, "b", hm, 20)
+	if frugal.Value <= greedy.Value {
+		t.Errorf("frugal HPM %v not above greedy %v", frugal.Value, greedy.Value)
+	}
+}
+
+func TestPowerDeviation(t *testing.T) {
+	if got := PowerDeviation(7.66, 0.3132); math.Abs(got-2.3991) > 1e-4 {
+		t.Errorf("PowerDeviation = %v", got)
+	}
+	if PowerDeviation(5, 0) != 0 {
+		t.Error("zero deviation should zero the product")
+	}
+}
+
+func TestDeviationString(t *testing.T) {
+	d := Deviation{ASID: 3, MissRate: 0.5, Goal: 0.1, Excess: 0.4}
+	if got := d.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,695 @@
+package molecular
+
+import (
+	"fmt"
+	"sort"
+
+	"molcache/internal/addr"
+	"molcache/internal/engine"
+	"molcache/internal/noc"
+	"molcache/internal/rng"
+	"molcache/internal/stats"
+	"molcache/internal/trace"
+)
+
+// Config describes a molecular cache.
+type Config struct {
+	// TotalSize is the aggregate capacity in bytes.
+	TotalSize uint64
+	// MoleculeSize is one molecule's capacity (8-32 KB per the paper;
+	// default 8 KB).
+	MoleculeSize uint64
+	// LineSize is the base line size (default 64 B).
+	LineSize uint64
+	// TilesPerCluster groups tiles under one Ulmo (default 4).
+	TilesPerCluster int
+	// Clusters is the number of tile clusters (default 1).
+	Clusters int
+	// Policy selects molecule replacement (default Randy).
+	Policy ReplacementKind
+	// LineFactor is the number of base lines fetched per miss for new
+	// regions (default 1; a power of two). Regions may override it at
+	// creation.
+	LineFactor int
+	// InitialMolecules is a new region's starting allocation (default
+	// half the home tile, per the paper's chosen scheme).
+	InitialMolecules int
+	// Seed drives the replacement randomness.
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MoleculeSize == 0 {
+		c.MoleculeSize = 8 * addr.KB
+	}
+	if c.LineSize == 0 {
+		c.LineSize = 64
+	}
+	if c.TilesPerCluster == 0 {
+		c.TilesPerCluster = 4
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 1
+	}
+	if c.Policy == "" {
+		c.Policy = RandyReplacement
+	}
+	if c.LineFactor == 0 {
+		c.LineFactor = 1
+	}
+	return c
+}
+
+// Validate checks the configuration (after defaulting).
+func (c Config) Validate() error {
+	// The total size need not be a power of two (the paper's mixed-
+	// workload cache is 6 MB = 3 clusters x 2 MB); only the molecule
+	// and line geometry index with masks.
+	if c.TotalSize == 0 {
+		return fmt.Errorf("molecular: total size must be positive")
+	}
+	if err := addr.CheckPow2("molecule size", c.MoleculeSize); err != nil {
+		return err
+	}
+	if err := addr.CheckPow2("line size", c.LineSize); err != nil {
+		return err
+	}
+	if c.LineFactor < 1 || !addr.IsPow2(uint64(c.LineFactor)) {
+		return fmt.Errorf("molecular: line factor must be a power of two, got %d", c.LineFactor)
+	}
+	linesPerMol := c.MoleculeSize / c.LineSize
+	if linesPerMol < uint64(c.LineFactor) || linesPerMol == 0 {
+		return fmt.Errorf("molecular: molecule of %d lines cannot host line factor %d",
+			linesPerMol, c.LineFactor)
+	}
+	total := c.TotalSize / c.MoleculeSize
+	tiles := uint64(c.Clusters * c.TilesPerCluster)
+	if tiles == 0 || total == 0 || total%tiles != 0 {
+		return fmt.Errorf("molecular: %d molecules do not divide into %d tiles", total, tiles)
+	}
+	perTile := total / tiles
+	if perTile < 2 {
+		return fmt.Errorf("molecular: only %d molecules per tile; need >= 2", perTile)
+	}
+	if c.InitialMolecules < 0 || uint64(c.InitialMolecules) > perTile {
+		return fmt.Errorf("molecular: initial allocation %d exceeds tile capacity %d",
+			c.InitialMolecules, perTile)
+	}
+	switch c.Policy {
+	case RandomReplacement, RandyReplacement, LRUDirect:
+	default:
+		return fmt.Errorf("molecular: unknown replacement policy %q", c.Policy)
+	}
+	return nil
+}
+
+// TileSize returns the per-tile capacity in bytes.
+func (c Config) TileSize() uint64 {
+	return c.TotalSize / uint64(c.Clusters*c.TilesPerCluster)
+}
+
+// MoleculesPerTile returns the tile's molecule count.
+func (c Config) MoleculesPerTile() int {
+	return int(c.TileSize() / c.MoleculeSize)
+}
+
+// Name renders the configuration the way the paper's tables do.
+func (c Config) Name() string {
+	return fmt.Sprintf("%s Molecular (%s)", addr.Bytes(c.TotalSize), c.Policy)
+}
+
+// Cache is a molecular cache: clusters of tiles of molecules, serving
+// per-application regions. It implements engine.Cache.
+type Cache struct {
+	cfg      Config
+	clusters []*Cluster
+	regions  map[uint16]*Region
+
+	linesPerMol uint64
+	clock       uint64 // logical time for LRU-Direct
+	nextHome    int    // round-robin auto-placement cursor
+
+	ledger    stats.Ledger
+	global    stats.Window
+	probes    *stats.Histogram
+	addresses uint64 // total references serviced (resize trigger input)
+
+	// mesh, when attached, accounts hop latency/energy for every Ulmo
+	// sweep of a remote tile (and the response on a remote hit).
+	mesh         *noc.Mesh
+	remoteCycles uint64
+
+	src *rng.Source
+}
+
+var _ engine.Cache = (*Cache)(nil)
+
+// New builds a molecular cache.
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	if cfg.InitialMolecules == 0 {
+		cfg.InitialMolecules = cfg.MoleculesPerTile() / 2
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:         cfg,
+		regions:     make(map[uint16]*Region),
+		linesPerMol: cfg.MoleculeSize / cfg.LineSize,
+		probes:      stats.NewHistogram(cfg.MoleculesPerTile()*cfg.TilesPerCluster + 1),
+		src:         rng.New(cfg.Seed ^ 0x5eed),
+	}
+	molID := 0
+	for ci := 0; ci < cfg.Clusters; ci++ {
+		cl := &Cluster{id: ci}
+		for ti := 0; ti < cfg.TilesPerCluster; ti++ {
+			t := &Tile{id: ci*cfg.TilesPerCluster + ti, cluster: cl}
+			for mi := 0; mi < cfg.MoleculesPerTile(); mi++ {
+				m := &Molecule{
+					id:    molID,
+					tile:  t,
+					lines: make([]molLine, c.linesPerMol),
+					row:   -1,
+				}
+				molID++
+				t.molecules = append(t.molecules, m)
+				t.free = append(t.free, m)
+			}
+			cl.tiles = append(cl.tiles, t)
+		}
+		c.clusters = append(c.clusters, cl)
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements engine.Cache.
+func (c *Cache) Name() string { return c.cfg.Name() }
+
+// Config returns the (defaulted) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Clusters returns the cache's tile clusters.
+func (c *Cache) Clusters() []*Cluster { return c.clusters }
+
+// Ledger exposes per-ASID hit/miss counts.
+func (c *Cache) Ledger() *stats.Ledger { return &c.ledger }
+
+// GlobalWindow exposes the cache-wide resize window.
+func (c *Cache) GlobalWindow() *stats.Window { return &c.global }
+
+// ProbeHistogram exposes the per-access molecule-probe distribution, the
+// input to the average-power calculation (Table 4's mixed-workload
+// column).
+func (c *Cache) ProbeHistogram() *stats.Histogram { return c.probes }
+
+// Addresses returns the total references serviced (the resize-period
+// trigger counts in these units).
+func (c *Cache) Addresses() uint64 { return c.addresses }
+
+// RegionOptions customizes CreateRegion.
+type RegionOptions struct {
+	// HomeCluster and HomeTile select placement; -1 means round-robin.
+	HomeCluster, HomeTile int
+	// InitialMolecules overrides the config default when > 0.
+	InitialMolecules int
+	// LineFactor overrides the config default when > 0. Fixed for the
+	// region's lifetime, per the paper.
+	LineFactor int
+}
+
+// CreateRegion creates and sizes the partition for asid. The paper's
+// "Ground Zero": the initial allocation (default: half the home tile) is
+// drawn from the home tile's free pool, falling back to cluster siblings.
+func (c *Cache) CreateRegion(asid uint16, opts RegionOptions) (*Region, error) {
+	if _, ok := c.regions[asid]; ok {
+		return nil, fmt.Errorf("molecular: region for ASID %d already exists", asid)
+	}
+	ci := opts.HomeCluster
+	ti := opts.HomeTile
+	if ci < 0 || ti < 0 {
+		ci = c.nextHome % len(c.clusters)
+		ti = (c.nextHome / len(c.clusters)) % c.cfg.TilesPerCluster
+		c.nextHome++
+	}
+	if ci >= len(c.clusters) || ti >= c.cfg.TilesPerCluster {
+		return nil, fmt.Errorf("molecular: placement (cluster %d, tile %d) out of range", ci, ti)
+	}
+	initial := c.cfg.InitialMolecules
+	if opts.InitialMolecules > 0 {
+		initial = opts.InitialMolecules
+	}
+	lf := c.cfg.LineFactor
+	if opts.LineFactor > 0 {
+		lf = opts.LineFactor
+	}
+	if !addr.IsPow2(uint64(lf)) || uint64(lf) > c.linesPerMol {
+		return nil, fmt.Errorf("molecular: bad line factor %d", lf)
+	}
+	home := c.clusters[ci].tiles[ti]
+	r := &Region{
+		asid:       asid,
+		home:       home,
+		policy:     c.cfg.Policy,
+		lineSize:   c.cfg.LineSize,
+		lineFactor: lf,
+		molSize:    c.cfg.MoleculeSize,
+		byTile:     make(map[*Tile][]*Molecule),
+		src:        rng.New(c.cfg.Seed ^ uint64(asid)<<20 ^ 0xbeef),
+	}
+	c.regions[asid] = r
+	c.growSpread(r, initial)
+	return r, nil
+}
+
+// growSpread performs the initial allocation, spreading molecules
+// round-robin over up to four rows so a Randy region starts with a
+// non-trivial replacement view (Random regions stay single-row).
+func (c *Cache) growSpread(r *Region, n int) {
+	rows := 1
+	if r.policy != RandomReplacement {
+		rows = 4
+		if n < rows {
+			rows = n
+		}
+		if rows == 0 {
+			rows = 1
+		}
+	}
+	cl := r.home.cluster
+	for i := 0; i < n; i++ {
+		m := cl.takeFreePreferring(r.home)
+		if m == nil {
+			return
+		}
+		rowIdx := i % rows
+		if rowIdx > len(r.rows) {
+			rowIdx = len(r.rows)
+		}
+		r.attach(m, rowIdx)
+	}
+}
+
+// Region returns the partition for asid, or nil.
+func (c *Cache) Region(asid uint16) *Region { return c.regions[asid] }
+
+// Regions returns all partitions sorted by ASID.
+func (c *Cache) Regions() []*Region {
+	out := make([]*Region, 0, len(c.regions))
+	for _, r := range c.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].asid < out[j].asid })
+	return out
+}
+
+// Grow allocates up to n molecules to region r from its home cluster,
+// placing each per the policy's growth rule. It returns how many were
+// actually obtained (the cluster may be exhausted — in that phase no
+// resizing takes place, as the paper notes).
+func (c *Cache) Grow(r *Region, n int) (got int, err error) {
+	if n < 0 {
+		return 0, fmt.Errorf("molecular: Grow with negative count %d", n)
+	}
+	cl := r.home.cluster
+	for i := 0; i < n; i++ {
+		m := cl.takeFreePreferring(r.home)
+		if m == nil {
+			break
+		}
+		// A freshly opened row must be seeded to a useful width before
+		// anything else grows: a thin row owns a full 1/rowMax slice of
+		// the address space and thrashes until it is widened.
+		row := r.growthRow()
+		if last := len(r.rows) - 1; last >= 1 {
+			avg := r.count / len(r.rows)
+			if len(r.rows[last]) < avg/2 {
+				row = last
+			}
+		}
+		r.attach(m, row)
+		got++
+	}
+	return got, nil
+}
+
+// Shrink withdraws up to n molecules (never below one), flushing each and
+// returning it to its tile's free pool. It reports the number withdrawn
+// and the dirty-line writebacks incurred.
+func (c *Cache) Shrink(r *Region, n int) (withdrawn, writebacks int) {
+	for i := 0; i < n; i++ {
+		m := r.withdrawCandidate()
+		if m == nil {
+			break
+		}
+		writebacks += r.detach(m)
+		m.tile.release(m)
+		withdrawn++
+	}
+	return withdrawn, writebacks
+}
+
+// Rebalance moves one molecule from the region's coldest row to its
+// hottest row (by per-molecule replacement pressure) when the imbalance
+// exceeds 4x and the cold row can spare a molecule. It lets a Randy
+// region adapt its per-row associativity even when the cluster's free
+// pool is exhausted and Grow cannot deliver. Returns whether a molecule
+// moved; the moved molecule is flushed (writebacks counted by the move).
+func (c *Cache) Rebalance(r *Region) bool {
+	if r.policy == RandomReplacement || len(r.rows) < 2 {
+		return false
+	}
+	hot, cold := -1, -1
+	var hotScore, coldScore float64
+	for i, row := range r.rows {
+		score := float64(r.rowMiss[i]) / float64(len(row))
+		if hot < 0 || score > hotScore {
+			hot, hotScore = i, score
+		}
+		if len(row) > 2 && (cold < 0 || score < coldScore) {
+			cold, coldScore = i, score
+		}
+	}
+	// Demand a decisive imbalance: each move flushes a full molecule,
+	// so marginal moves cost more refetches than they save.
+	if hot < 0 || cold < 0 || hot == cold || hotScore < 4*coldScore+2 {
+		return false
+	}
+	// Coldest molecule of the cold row moves to the hot row.
+	row := r.rows[cold]
+	m := row[0]
+	for _, x := range row {
+		if x.missCount < m.missCount {
+			m = x
+		}
+	}
+	// The cold row keeps >= 2 molecules, so no row empties and row
+	// indices stay stable across the detach. The released molecule is
+	// the tile free list's top, so it is re-acquired immediately.
+	r.detach(m)
+	m.tile.release(m)
+	m2 := r.home.cluster.takeFreePreferring(r.home)
+	if m2 == nil {
+		return false
+	}
+	r.attach(m2, hot)
+	return true
+}
+
+// Access implements engine.Cache. Lookup is hierarchical: the molecules
+// of the requestor's region on its home tile are probed first; on a tile
+// miss the cluster's Ulmo probes the sibling tiles that contribute
+// molecules to the region. A region is created on first touch
+// (round-robin placement) if the application was never admitted
+// explicitly.
+func (c *Cache) Access(ref trace.Ref) engine.Result {
+	c.clock++
+	c.addresses++
+	r := c.regions[ref.ASID]
+	if r == nil {
+		var err error
+		r, err = c.CreateRegion(ref.ASID, RegionOptions{HomeCluster: -1, HomeTile: -1})
+		if err != nil {
+			panic(fmt.Sprintf("molecular: auto-admit of ASID %d failed: %v", ref.ASID, err))
+		}
+	}
+	block := ref.Addr / c.cfg.LineSize
+	write := kindIsWrite(ref.Kind)
+	res := engine.Result{}
+
+	// Stage 1: home tile (plus any shared molecules resident there).
+	if hit, probes := c.probeTile(r, r.home, ref.ASID, block, write); hit {
+		res.Hit = true
+		res.TagProbes = probes
+		res.DataReads = 1
+		c.finish(r, ref.ASID, res)
+		return res
+	} else {
+		res.TagProbes += probes
+	}
+
+	// Stage 2: Ulmo searches only the sibling tiles whose molecules
+	// contribute to the application's region (or hold shared-bit
+	// molecules, which serve every ASID).
+	shared := c.regions[SharedASID]
+	for _, t := range r.home.cluster.tiles {
+		if t == r.home {
+			continue
+		}
+		if len(r.byTile[t]) == 0 && (shared == nil || len(shared.byTile[t]) == 0) {
+			continue
+		}
+		if c.mesh != nil {
+			if lat, err := c.mesh.Traverse(r.home.id, t.id); err == nil {
+				c.remoteCycles += lat
+			}
+		}
+		if hit, probes := c.probeTile(r, t, ref.ASID, block, write); hit {
+			res.Hit = true
+			res.RemoteTileHit = true
+			res.TagProbes += probes
+			res.DataReads = 1
+			if c.mesh != nil {
+				// The data line rides the mesh back to the home tile.
+				if lat, err := c.mesh.Traverse(t.id, r.home.id); err == nil {
+					c.remoteCycles += lat
+				}
+			}
+			c.finish(r, ref.ASID, res)
+			return res
+		} else {
+			res.TagProbes += probes
+		}
+	}
+
+	// Miss: fetch lineFactor lines into the policy's victim molecule.
+	victim := r.victim(ref.Addr, block)
+	if r.lineFactor > 1 {
+		// The group companions may already be resident in sibling
+		// molecules; duplicates would go stale, so the fill
+		// back-invalidates them (counting their dirty writebacks).
+		group := block &^ uint64(r.lineFactor-1)
+		for i := 0; i < r.lineFactor; i++ {
+			b := group + uint64(i)
+			if b == block {
+				continue
+			}
+			for _, m := range r.molecules() {
+				if m == victim {
+					continue
+				}
+				if present, dirty := m.invalidate(b); present && dirty {
+					res.Writebacks++
+				}
+			}
+		}
+	}
+	evicted, wb := victim.fill(block, r.lineFactor, write, c.clock)
+	r.rowMiss[victim.row]++
+	res.LinesFetched = r.lineFactor
+	res.LinesEvicted = evicted
+	res.Writebacks = wb
+	c.finish(r, ref.ASID, res)
+	return res
+}
+
+// probeTile probes the region's molecules on tile t (and t's shared-bit
+// molecules), returning hit status and the number of molecules activated.
+// All eligible molecules on a tile are enabled in parallel by the ASID
+// comparison stage, so the energy-relevant probe count is the full
+// eligible population of every tile searched, independent of where (or
+// whether) the hit lands.
+func (c *Cache) probeTile(r *Region, t *Tile, asid uint16, block uint64, write bool) (bool, int) {
+	own := r.byTile[t]
+	probes := len(own)
+	hit := false
+	for _, m := range own {
+		if m.probe(block, write, c.clock) {
+			hit = true
+			break
+		}
+	}
+	// Shared molecules respond to all ASIDs on the tile.
+	if shared := c.regions[SharedASID]; shared != nil && shared.home.cluster == t.cluster {
+		sh := shared.byTile[t]
+		probes += len(sh)
+		if !hit {
+			for _, m := range sh {
+				if m.probe(block, write, c.clock) {
+					hit = true
+					break
+				}
+			}
+		}
+	}
+	return hit, probes
+}
+
+// finish records ledgers, windows and probe accounting for one access.
+func (c *Cache) finish(r *Region, asid uint16, res engine.Result) {
+	c.ledger.Record(asid, res.Hit)
+	c.global.Record(res.Hit)
+	r.window.Record(res.Hit)
+	r.ledger.Record(res.Hit)
+	r.occupancySum += uint64(r.count)
+	c.probes.Observe(uint64(res.TagProbes))
+}
+
+// Contains reports whether the line holding a is resident in any molecule
+// (coherence/test probe; no state change).
+func (c *Cache) Contains(a uint64) bool {
+	block := a / c.cfg.LineSize
+	for _, cl := range c.clusters {
+		for _, t := range cl.tiles {
+			for _, m := range t.molecules {
+				if m.owned || m.shared {
+					if m.contains(block) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line holding a wherever it is resident
+// (inter-cluster coherence back-invalidation via the Ulmos).
+func (c *Cache) Invalidate(a uint64) (present, dirty bool) {
+	block := a / c.cfg.LineSize
+	for _, cl := range c.clusters {
+		for _, t := range cl.tiles {
+			for _, m := range t.molecules {
+				if !m.owned && !m.shared {
+					continue
+				}
+				p, d := m.invalidate(block)
+				present = present || p
+				dirty = dirty || d
+			}
+		}
+	}
+	return present, dirty
+}
+
+// FreeInCluster returns the number of unassigned molecules in the
+// region's home cluster — the pool its grows and shrinks trade against.
+func (c *Cache) FreeInCluster(r *Region) int {
+	return r.home.cluster.FreeCount()
+}
+
+// Rehome moves a region's home tile within its cluster — the paper's
+// non-static processor-to-tile assignment on a context switch. The
+// region's molecules stay where they are (hierarchical lookup keeps them
+// reachable); only the first-searched tile and the preferred allocation
+// source change.
+func (c *Cache) Rehome(asid uint16, tile int) error {
+	r := c.regions[asid]
+	if r == nil {
+		return fmt.Errorf("molecular: no region for ASID %d", asid)
+	}
+	cl := r.home.cluster
+	if tile < 0 || tile >= len(cl.tiles) {
+		return fmt.Errorf("molecular: tile %d outside cluster %d (has %d tiles)",
+			tile, cl.id, len(cl.tiles))
+	}
+	r.home = cl.tiles[tile]
+	return nil
+}
+
+// AttachInterconnect routes Ulmo tile sweeps over the given mesh; the
+// mesh must have a node for every tile. Remote-tile searches then
+// accumulate hop latency (RemoteCycles) and wire energy (the mesh's own
+// counters).
+func (c *Cache) AttachInterconnect(m *noc.Mesh) error {
+	tiles := c.cfg.Clusters * c.cfg.TilesPerCluster
+	if m.Nodes() < tiles {
+		return fmt.Errorf("molecular: mesh of %d nodes cannot host %d tiles", m.Nodes(), tiles)
+	}
+	c.mesh = m
+	return nil
+}
+
+// Interconnect returns the attached mesh (nil when none).
+func (c *Cache) Interconnect() *noc.Mesh { return c.mesh }
+
+// RemoteCycles returns the accumulated Ulmo hop latency.
+func (c *Cache) RemoteCycles() uint64 { return c.remoteCycles }
+
+// FreeMolecules returns the number of unassigned molecules cache-wide.
+func (c *Cache) FreeMolecules() int {
+	n := 0
+	for _, cl := range c.clusters {
+		n += cl.FreeCount()
+	}
+	return n
+}
+
+// TotalMolecules returns the cache's molecule count.
+func (c *Cache) TotalMolecules() int {
+	return int(c.cfg.TotalSize / c.cfg.MoleculeSize)
+}
+
+// AverageProbes returns the mean molecules probed per access, the
+// selective-enablement quantity the power model consumes.
+func (c *Cache) AverageProbes() float64 { return c.probes.Mean() }
+
+// CheckInvariants verifies the structural invariants (every molecule is
+// free xor owned by exactly one region; row indices consistent; counts
+// add up). Tests and the resize controller's debug mode call it.
+func (c *Cache) CheckInvariants() error {
+	owned := make(map[int]uint16)
+	free := make(map[int]bool)
+	for _, cl := range c.clusters {
+		for _, t := range cl.tiles {
+			for _, m := range t.free {
+				if m.owned {
+					return fmt.Errorf("molecule %d on free list but owned", m.id)
+				}
+				free[m.id] = true
+			}
+		}
+	}
+	total := 0
+	for asid, r := range c.regions {
+		if r.count != len(r.molecules()) {
+			return fmt.Errorf("region %d count %d != molecules %d", asid, r.count, len(r.molecules()))
+		}
+		for i, row := range r.rows {
+			if len(row) == 0 {
+				return fmt.Errorf("region %d row %d empty", asid, i)
+			}
+			for _, m := range row {
+				if m.row != i {
+					return fmt.Errorf("molecule %d row field %d != actual row %d", m.id, m.row, i)
+				}
+				if !m.owned || m.asid != asid {
+					return fmt.Errorf("molecule %d in region %d but owned=%v asid=%d",
+						m.id, asid, m.owned, m.asid)
+				}
+				if free[m.id] {
+					return fmt.Errorf("molecule %d both free and owned", m.id)
+				}
+				if prev, dup := owned[m.id]; dup {
+					return fmt.Errorf("molecule %d owned by both %d and %d", m.id, prev, asid)
+				}
+				owned[m.id] = asid
+			}
+		}
+		total += r.count
+	}
+	if total+len(free) != c.TotalMolecules() {
+		return fmt.Errorf("owned %d + free %d != total %d", total, len(free), c.TotalMolecules())
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package molecular implements the paper's contribution: a cache built as
+// an aggregation of small direct-mapped caching units (molecules), grouped
+// physically into tiles and tile clusters, and logically into per-
+// application cache regions with an ASID-gated decode path, hierarchical
+// (tile-then-Ulmo) lookup, Random/Randy replacement over a 2-D replacement
+// view with per-row associativity, variable line size, and support for
+// dynamic resizing (driven by internal/resize).
+package molecular
+
+import "molcache/internal/trace"
+
+// SharedASID marks molecules with the shared bit set: they respond to
+// every request on their tile regardless of the requestor's ASID
+// (Figure 3's multiplexer bypass).
+const SharedASID uint16 = 0xFFFF
+
+// molLine is one 64-byte line's metadata inside a molecule.
+type molLine struct {
+	tag   uint64 // full block number (addr / lineSize)
+	valid bool
+	dirty bool
+	// touch is a replacement timestamp used only by the LRU-Direct
+	// extension policy.
+	touch uint64
+}
+
+// Molecule is a small direct-mapped caching unit — the building block the
+// whole architecture aggregates. Its decode path is gated by an ASID
+// comparison (or bypassed when the shared bit is set).
+type Molecule struct {
+	// id is the global molecule number (stable across reassignment).
+	id int
+	// tile is the physical tile holding this molecule.
+	tile *Tile
+	// lines are the direct-mapped entries.
+	lines []molLine
+
+	// asid is the configured Application Space Identifier; only
+	// requests from this application may proceed past decode.
+	asid uint16
+	// shared bypasses the ASID comparison when set.
+	shared bool
+	// owned reports whether the molecule currently belongs to a region.
+	owned bool
+	// row is the molecule's row in its region's replacement view
+	// (meaningful only while owned).
+	row int
+
+	// missCount counts replacements since the last resize epoch — the
+	// counter Algorithm 1 reads to decide where to add and what to
+	// withdraw.
+	missCount uint64
+	// hits and accesses accumulate for the lifetime of the assignment;
+	// they feed the HPM metric (Figure 6).
+	hits     uint64
+	accesses uint64
+}
+
+// ID returns the global molecule number.
+func (m *Molecule) ID() int { return m.id }
+
+// Tile returns the physical tile holding the molecule.
+func (m *Molecule) Tile() *Tile { return m.tile }
+
+// ASID returns the configured application identifier.
+func (m *Molecule) ASID() uint16 { return m.asid }
+
+// Shared reports whether the shared bit is set.
+func (m *Molecule) Shared() bool { return m.shared }
+
+// Row returns the replacement-view row (only meaningful while owned).
+func (m *Molecule) Row() int { return m.row }
+
+// MissCount returns replacements since the last epoch reset.
+func (m *Molecule) MissCount() uint64 { return m.missCount }
+
+// Hits returns lifetime hits since assignment.
+func (m *Molecule) Hits() uint64 { return m.hits }
+
+// eligible reports whether the molecule's decode stage lets a request
+// from asid proceed (the Figure 3 comparator-plus-shared-bit mux).
+func (m *Molecule) eligible(asid uint16) bool {
+	return m.shared || (m.owned && m.asid == asid)
+}
+
+// index maps a block number to the molecule's direct-mapped slot.
+func (m *Molecule) index(block uint64) int {
+	return int(block % uint64(len(m.lines)))
+}
+
+// probe performs the direct-mapped lookup for block, updating hit
+// bookkeeping. write marks the line dirty on a hit.
+func (m *Molecule) probe(block uint64, write bool, clock uint64) bool {
+	m.accesses++
+	ln := &m.lines[m.index(block)]
+	if ln.valid && ln.tag == block {
+		if write {
+			ln.dirty = true
+		}
+		ln.touch = clock
+		m.hits++
+		return true
+	}
+	return false
+}
+
+// fill installs the lineFactor-aligned group of lines containing block.
+// It returns the number of valid lines evicted and how many of those were
+// dirty. Only the accessed line is marked dirty on a write miss
+// (write-allocate); its group companions arrive clean.
+func (m *Molecule) fill(block uint64, lineFactor int, write bool, clock uint64) (evicted, writebacks int) {
+	group := block &^ uint64(lineFactor-1)
+	for i := 0; i < lineFactor; i++ {
+		b := group + uint64(i)
+		ln := &m.lines[m.index(b)]
+		if ln.valid {
+			evicted++
+			if ln.dirty {
+				writebacks++
+			}
+		}
+		*ln = molLine{tag: b, valid: true, dirty: write && b == block, touch: clock}
+	}
+	m.missCount++
+	return evicted, writebacks
+}
+
+// flush invalidates every line, returning the number of dirty lines a
+// real cache would write back. Used when a molecule is withdrawn from a
+// region or reassigned.
+func (m *Molecule) flush() (writebacks int) {
+	for i := range m.lines {
+		if m.lines[i].valid && m.lines[i].dirty {
+			writebacks++
+		}
+		m.lines[i] = molLine{}
+	}
+	return writebacks
+}
+
+// resetCounters clears assignment-lifetime statistics.
+func (m *Molecule) resetCounters() {
+	m.missCount = 0
+	m.hits = 0
+	m.accesses = 0
+}
+
+// invalidate drops one line if present (coherence back-invalidation).
+func (m *Molecule) invalidate(block uint64) (present, dirty bool) {
+	ln := &m.lines[m.index(block)]
+	if ln.valid && ln.tag == block {
+		d := ln.dirty
+		*ln = molLine{}
+		return true, d
+	}
+	return false, false
+}
+
+// contains reports whether block is resident, without updating state.
+func (m *Molecule) contains(block uint64) bool {
+	ln := &m.lines[m.index(block)]
+	return ln.valid && ln.tag == block
+}
+
+// lineTouch returns the LRU timestamp of the slot block maps to and
+// whether the slot currently holds a valid line.
+func (m *Molecule) lineTouch(block uint64) (uint64, bool) {
+	ln := &m.lines[m.index(block)]
+	return ln.touch, ln.valid
+}
+
+// validLines counts resident lines (test/debug aid).
+func (m *Molecule) validLines() int {
+	n := 0
+	for i := range m.lines {
+		if m.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// kindIsWrite converts a trace kind for the probe/fill helpers.
+func kindIsWrite(k trace.Kind) bool { return k == trace.Write }

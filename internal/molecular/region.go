@@ -1,0 +1,350 @@
+package molecular
+
+import (
+	"fmt"
+
+	"molcache/internal/rng"
+	"molcache/internal/stats"
+)
+
+// ReplacementKind selects the molecule-selection policy for a region.
+type ReplacementKind string
+
+// The molecule-selection policies: the paper's two (Random over the whole
+// region, Randy over the row-hashed replacement view) and LRU-Direct, the
+// extension named in the paper's future-work section (approximate LRU
+// across the molecules of the candidate row).
+const (
+	RandomReplacement ReplacementKind = "Random"
+	RandyReplacement  ReplacementKind = "Randy"
+	LRUDirect         ReplacementKind = "LRU-Direct"
+)
+
+// maxRows caps the replacement view's row count (the configured way size,
+// rowMax). Rows are added dynamically as the region grows.
+const maxRows = 16
+
+// Region is an application-specific cache partition: a set of molecules
+// bound to one ASID, organized for replacement as a 2-D sparse matrix of
+// rows with independent widths (heterogeneous per-row associativity).
+type Region struct {
+	asid       uint16
+	home       *Tile
+	policy     ReplacementKind
+	lineSize   uint64 // base line size (bytes)
+	lineFactor int    // lines fetched per miss (fixed at creation)
+	molSize    uint64
+
+	// rows is the replacement view. Every molecule in the region
+	// appears in exactly one row; rows[i][j].row == i.
+	rows [][]*Molecule
+	// byTile indexes the region's molecules by physical tile for the
+	// hierarchical lookup (home tile first, then Ulmo sweep).
+	byTile map[*Tile][]*Molecule
+	count  int
+
+	// rowMiss counts replacements per row since the last epoch
+	// (Randy's placement signal).
+	rowMiss []uint64
+
+	// window feeds the resize controller's periodic miss-rate reads.
+	window stats.Window
+	// lifetime counts for reporting.
+	ledger stats.HitMiss
+
+	// occupancySum accumulates the molecule count at every access so
+	// HPM can use the time-weighted average partition size.
+	occupancySum uint64
+
+	src *rng.Source
+}
+
+// ASID returns the owning application's identifier.
+func (r *Region) ASID() uint16 { return r.asid }
+
+// HomeTile returns the region's home tile.
+func (r *Region) HomeTile() *Tile { return r.home }
+
+// Policy returns the molecule-selection policy.
+func (r *Region) Policy() ReplacementKind { return r.policy }
+
+// LineFactor returns the number of base lines fetched per miss.
+func (r *Region) LineFactor() int { return r.lineFactor }
+
+// MoleculeCount returns the current partition size in molecules.
+func (r *Region) MoleculeCount() int { return r.count }
+
+// Rows returns the widths of the replacement view's rows.
+func (r *Region) Rows() []int {
+	out := make([]int, len(r.rows))
+	for i, row := range r.rows {
+		out[i] = len(row)
+	}
+	return out
+}
+
+// RowMissCounts returns the per-row replacement counts for this epoch.
+func (r *Region) RowMissCounts() []uint64 {
+	out := make([]uint64, len(r.rowMiss))
+	copy(out, r.rowMiss)
+	return out
+}
+
+// Window exposes the resize controller's miss-rate window.
+func (r *Region) Window() *stats.Window { return &r.window }
+
+// Ledger returns the region's lifetime hit/miss counts.
+func (r *Region) Ledger() stats.HitMiss { return r.ledger }
+
+// AverageMolecules returns the time-weighted average partition size, the
+// denominator of the HPM metric.
+func (r *Region) AverageMolecules() float64 {
+	n := r.ledger.Accesses()
+	if n == 0 {
+		return float64(r.count)
+	}
+	return float64(r.occupancySum) / float64(n)
+}
+
+// Hits returns total hits accumulated by the region's current and former
+// molecules... note withdrawn molecules carry their hits away, so the
+// region ledger is the authoritative count.
+func (r *Region) Hits() uint64 { return r.ledger.Hits }
+
+// ResetEpoch clears the per-epoch miss counters (molecules and rows)
+// after a resize decision has consumed them.
+func (r *Region) ResetEpoch() {
+	for i := range r.rowMiss {
+		r.rowMiss[i] = 0
+	}
+	for _, row := range r.rows {
+		for _, m := range row {
+			m.missCount = 0
+		}
+	}
+}
+
+// rowFor returns the replacement-view row for a block address per the
+// paper's hash: row = (addr / moleculeSize) mod rowMax.
+func (r *Region) rowFor(addrBytes uint64) int {
+	if len(r.rows) == 0 {
+		panic("molecular: region has no rows")
+	}
+	return int((addrBytes / r.molSize) % uint64(len(r.rows)))
+}
+
+// victim selects the molecule that receives the fill for addrBytes
+// (whose block number is block), per the region's policy.
+func (r *Region) victim(addrBytes, block uint64) *Molecule {
+	switch r.policy {
+	case RandomReplacement:
+		// The whole region is one logical row; draw uniformly.
+		return r.nthMolecule(r.src.Intn(r.count))
+	case RandyReplacement:
+		row := r.rows[r.rowFor(addrBytes)]
+		return row[r.src.Intn(len(row))]
+	case LRUDirect:
+		// Future-work extension: within the hashed row, pick the
+		// molecule whose direct-mapped slot for this block is invalid
+		// or least recently touched.
+		row := r.rows[r.rowFor(addrBytes)]
+		var best *Molecule
+		var bestTouch uint64
+		for _, m := range row {
+			touch, valid := m.lineTouch(block)
+			if !valid {
+				return m
+			}
+			if best == nil || touch < bestTouch {
+				best, bestTouch = m, touch
+			}
+		}
+		return best
+	default:
+		panic("molecular: unknown replacement policy " + string(r.policy))
+	}
+}
+
+// nthMolecule returns the i-th molecule in row-major order.
+func (r *Region) nthMolecule(i int) *Molecule {
+	for _, row := range r.rows {
+		if i < len(row) {
+			return row[i]
+		}
+		i -= len(row)
+	}
+	panic("molecular: molecule index out of range")
+}
+
+// molecules returns all molecules in the region (row-major).
+func (r *Region) molecules() []*Molecule {
+	out := make([]*Molecule, 0, r.count)
+	for _, row := range r.rows {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// attach places molecule m into row rowIdx (which may equal len(rows) to
+// open a new row) and binds its ASID.
+func (r *Region) attach(m *Molecule, rowIdx int) {
+	if m.owned {
+		panic(fmt.Sprintf("molecular: molecule %d attached while owned", m.id))
+	}
+	if rowIdx < 0 || rowIdx > len(r.rows) || rowIdx >= maxRows {
+		panic(fmt.Sprintf("molecular: bad row index %d (rows=%d)", rowIdx, len(r.rows)))
+	}
+	if rowIdx == len(r.rows) {
+		r.rows = append(r.rows, nil)
+		r.rowMiss = append(r.rowMiss, 0)
+	}
+	m.owned = true
+	m.asid = r.asid
+	m.shared = r.asid == SharedASID
+	m.row = rowIdx
+	m.resetCounters()
+	r.rows[rowIdx] = append(r.rows[rowIdx], m)
+	r.byTile[m.tile] = append(r.byTile[m.tile], m)
+	r.count++
+}
+
+// detach removes m from the region, flushing its contents. It returns the
+// number of dirty-line writebacks. The molecule is NOT released to its
+// tile's free pool; the caller does that.
+func (r *Region) detach(m *Molecule) (writebacks int) {
+	if !m.owned || m.asid != r.asid {
+		panic(fmt.Sprintf("molecular: detach of molecule %d not owned by region %d", m.id, r.asid))
+	}
+	row := r.rows[m.row]
+	found := false
+	for i, x := range row {
+		if x == m {
+			r.rows[m.row] = append(row[:i], row[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("molecular: molecule %d missing from its row", m.id))
+	}
+	tl := r.byTile[m.tile]
+	for i, x := range tl {
+		if x == m {
+			r.byTile[m.tile] = append(tl[:i], tl[i+1:]...)
+			break
+		}
+	}
+	if len(r.byTile[m.tile]) == 0 {
+		delete(r.byTile, m.tile)
+	}
+	wb := m.flush()
+	m.owned = false
+	m.shared = false
+	m.row = -1
+	r.count--
+	r.compactRows()
+	return wb
+}
+
+// compactRows removes empty trailing rows so rowFor never hashes into an
+// empty row. Interior empty rows are removed too; the paper only requires
+// that "every row of the matrix must contain at least one molecule".
+// Re-hashing after structural change is safe because lookup probes every
+// region molecule hierarchically regardless of row.
+func (r *Region) compactRows() {
+	out := r.rows[:0]
+	outMiss := r.rowMiss[:0]
+	for i, row := range r.rows {
+		if len(row) == 0 {
+			continue
+		}
+		out = append(out, row)
+		outMiss = append(outMiss, r.rowMiss[i])
+	}
+	r.rows = out
+	r.rowMiss = outMiss
+	for i, row := range r.rows {
+		for _, m := range row {
+			m.row = i
+		}
+	}
+}
+
+// growthRow chooses the row a newly allocated molecule should join,
+// implementing the paper's "add along the rows with the highest miss
+// count" (Randy / LRU-Direct) and "single logical row" (Random)
+// placement. It may return len(rows) to open a fresh row when the
+// miss pressure is evenly spread and the view still has headroom.
+func (r *Region) growthRow() int {
+	if r.policy == RandomReplacement {
+		return 0
+	}
+	if len(r.rows) == 0 {
+		return 0
+	}
+	// Highest misses-per-molecule row wins.
+	best, bestScore := 0, -1.0
+	var total uint64
+	for i, row := range r.rows {
+		total += r.rowMiss[i]
+		score := float64(r.rowMiss[i]) / float64(len(row))
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	// Widen-first: constraining victims to a row only works when rows
+	// are wide enough that placement has slack, so a new row (growing
+	// the configured way size, rowMax) only opens once the average row
+	// width reaches rowWidenThreshold and no row's per-molecule miss
+	// count stands out. Opening rows too eagerly leaves every row thin
+	// and permanently conflict-bound.
+	if len(r.rows) < maxRows && total > 0 && r.count >= rowWidenThreshold*len(r.rows) {
+		avgPerMol := float64(total) / float64(r.count)
+		if bestScore < 2*avgPerMol {
+			return len(r.rows)
+		}
+	}
+	return best
+}
+
+// withdrawCandidate picks the molecule to withdraw: the one that "holds
+// the least number of addresses" (fewest valid lines), with the paper's
+// per-epoch replacement counter as the tie-break. (The paper approximates
+// content with the replacement counter alone; counting valid lines
+// implements its stated rationale exactly and avoids withdrawing a
+// stable, fully hot molecule just because nothing evicts from it — the
+// "cold miss compensation" refinement the paper points at.) Rows are
+// never thinned
+// below two molecules while wider rows exist — a one-molecule row turns
+// its whole address slice direct-mapped and thrashes. Returns nil for an
+// empty or single-molecule region (a partition never shrinks to zero).
+func (r *Region) withdrawCandidate() *Molecule {
+	if r.count <= 1 {
+		return nil
+	}
+	pick := func(minWidth int) *Molecule {
+		var best *Molecule
+		bestLines := 0
+		for _, row := range r.rows {
+			if len(row) < minWidth {
+				continue
+			}
+			for _, m := range row {
+				lines := m.validLines()
+				if best == nil || lines < bestLines ||
+					(lines == bestLines && m.missCount < best.missCount) {
+					best, bestLines = m, lines
+				}
+			}
+		}
+		return best
+	}
+	if m := pick(3); m != nil {
+		return m
+	}
+	return pick(0)
+}
+
+// rowWidenThreshold is the average row width required before the
+// replacement view opens another row.
+const rowWidenThreshold = 1 << 30

@@ -1,0 +1,91 @@
+package molecular
+
+import "fmt"
+
+// Tile is a physical group of molecules sharing one read/write port.
+// Every processor (and thus every application) has a home tile that is
+// searched first on every access.
+type Tile struct {
+	id        int
+	cluster   *Cluster
+	molecules []*Molecule
+	free      []*Molecule // unassigned molecules, LIFO
+}
+
+// ID returns the tile number (global across the cache).
+func (t *Tile) ID() int { return t.id }
+
+// Cluster returns the owning tile cluster.
+func (t *Tile) Cluster() *Cluster { return t.cluster }
+
+// Molecules returns the tile's molecules (assigned and free).
+func (t *Tile) Molecules() []*Molecule { return t.molecules }
+
+// FreeCount returns the number of unassigned molecules.
+func (t *Tile) FreeCount() int { return len(t.free) }
+
+// takeFree removes and returns one free molecule, or nil when empty.
+func (t *Tile) takeFree() *Molecule {
+	if len(t.free) == 0 {
+		return nil
+	}
+	m := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	return m
+}
+
+// release returns a withdrawn molecule to the tile's free pool. The
+// caller must already have flushed and disowned it.
+func (t *Tile) release(m *Molecule) {
+	if m.tile != t {
+		panic(fmt.Sprintf("molecular: molecule %d released to foreign tile %d", m.id, t.id))
+	}
+	if m.owned {
+		panic(fmt.Sprintf("molecular: molecule %d released while still owned", m.id))
+	}
+	t.free = append(t.free, m)
+}
+
+// Cluster is a group of tiles governed by one Ulmo controller. The Ulmo
+// handles tile misses — searching the sibling tiles that contribute
+// molecules to the requesting application's region — and inter-cluster
+// coherence traffic.
+type Cluster struct {
+	id    int
+	tiles []*Tile
+}
+
+// ID returns the cluster number.
+func (c *Cluster) ID() int { return c.id }
+
+// Tiles returns the cluster's tiles.
+func (c *Cluster) Tiles() []*Tile { return c.tiles }
+
+// FreeCount returns the number of unassigned molecules in the cluster.
+func (c *Cluster) FreeCount() int {
+	n := 0
+	for _, t := range c.tiles {
+		n += len(t.free)
+	}
+	return n
+}
+
+// takeFreePreferring removes a free molecule, preferring the given home
+// tile and falling back to the Ulmo's sibling tiles in index order.
+// Returns nil when the whole cluster is exhausted — the "no free
+// molecules, no resizing" phase the paper observes for cache-intensive
+// mixes below the threshold size.
+func (c *Cluster) takeFreePreferring(home *Tile) *Molecule {
+	if m := home.takeFree(); m != nil {
+		return m
+	}
+	for _, t := range c.tiles {
+		if t == home {
+			continue
+		}
+		if m := t.takeFree(); m != nil {
+			return m
+		}
+	}
+	return nil
+}

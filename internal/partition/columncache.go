@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"fmt"
+
+	"molcache/internal/engine"
+	"molcache/internal/trace"
+)
+
+// ColumnCache implements Suh et al.'s column caching: the cache's ways
+// ("columns") are assigned to processes, and a process's replacements may
+// only land in its own columns. Lookup is unchanged — the full set is
+// searched — so data remains reachable even after column reassignment.
+type ColumnCache struct {
+	*base
+	name string
+	// columns maps an ASID to the bit-set of ways it may replace into.
+	columns map[uint16]uint64
+	// defaultMask is used for ASIDs without an assignment (all ways).
+	defaultMask uint64
+}
+
+var _ engine.Cache = (*ColumnCache)(nil)
+
+// NewColumnCache builds a column cache.
+func NewColumnCache(size uint64, ways int, lineSize uint64) (*ColumnCache, error) {
+	if ways > 64 {
+		return nil, fmt.Errorf("partition: column cache supports at most 64 ways, got %d", ways)
+	}
+	b, err := newBase(size, ways, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	return &ColumnCache{
+		base:        b,
+		name:        fmt.Sprintf("%s ColumnCache", geomName(size, ways)),
+		columns:     map[uint16]uint64{},
+		defaultMask: (uint64(1) << ways) - 1,
+	}, nil
+}
+
+// AssignColumns restricts an ASID's replacements to the given ways.
+func (c *ColumnCache) AssignColumns(asid uint16, ways ...int) error {
+	var mask uint64
+	for _, w := range ways {
+		if w < 0 || w >= c.ways {
+			return fmt.Errorf("partition: way %d out of range [0,%d)", w, c.ways)
+		}
+		mask |= 1 << uint(w)
+	}
+	if mask == 0 {
+		return fmt.Errorf("partition: an ASID needs at least one column")
+	}
+	c.columns[asid] = mask
+	return nil
+}
+
+// AssignEqualColumns splits the ways evenly across the given ASIDs, in
+// order, spreading any remainder over the first ASIDs.
+func (c *ColumnCache) AssignEqualColumns(asids ...uint16) error {
+	if len(asids) == 0 || len(asids) > c.ways {
+		return fmt.Errorf("partition: cannot split %d ways across %d ASIDs", c.ways, len(asids))
+	}
+	per := c.ways / len(asids)
+	extra := c.ways % len(asids)
+	next := 0
+	for i, asid := range asids {
+		n := per
+		if i < extra {
+			n++
+		}
+		ways := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			ways = append(ways, next)
+			next++
+		}
+		if err := c.AssignColumns(asid, ways...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Columns returns the ways assigned to an ASID.
+func (c *ColumnCache) Columns(asid uint16) []int {
+	mask, ok := c.columns[asid]
+	if !ok {
+		mask = c.defaultMask
+	}
+	var out []int
+	for w := 0; w < c.ways; w++ {
+		if mask&(1<<uint(w)) != 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Name implements engine.Cache.
+func (c *ColumnCache) Name() string { return c.name }
+
+// Access implements engine.Cache.
+func (c *ColumnCache) Access(r trace.Ref) engine.Result {
+	setBase, tag := c.locate(r.Addr)
+	res := engine.Result{TagProbes: c.ways, DataReads: 1}
+	if w := c.probe(setBase, tag, r); w >= 0 {
+		res.Hit = true
+		c.ledger.Record(r.ASID, true)
+		return res
+	}
+	mask, ok := c.columns[r.ASID]
+	if !ok {
+		mask = c.defaultMask
+	}
+	// Invalid way within the allowed columns first, then the LRU of the
+	// allowed columns.
+	best, bestStamp := -1, uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		ln := &c.lines[setBase+w]
+		if !ln.valid {
+			best = w
+			break
+		}
+		if best < 0 || ln.stamp < bestStamp {
+			best, bestStamp = w, ln.stamp
+		}
+	}
+	c.install(setBase, best, tag, r, &res)
+	c.ledger.Record(r.ASID, false)
+	return res
+}

@@ -1,0 +1,129 @@
+package partition
+
+import (
+	"fmt"
+
+	"molcache/internal/addr"
+	"molcache/internal/engine"
+	"molcache/internal/trace"
+)
+
+// ModifiedLRU implements Suh et al.'s partitioning scheme: every process
+// carries a cache-wide block quota. On a miss, a process below its quota
+// performs a *global* replacement (the set's overall LRU block, whoever
+// owns it); a process at or above its quota performs a *local*
+// replacement (its own LRU block in the set). Quotas are adjustable at
+// run time, which is how Suh's marginal-gain controller drives it.
+type ModifiedLRU struct {
+	*base
+	name string
+	// quota is the per-ASID block budget; ASIDs absent from the map use
+	// defaultQuota.
+	quota        map[uint16]uint64
+	defaultQuota uint64
+	// held counts resident blocks per ASID.
+	held map[uint16]uint64
+}
+
+var _ engine.Cache = (*ModifiedLRU)(nil)
+
+// NewModifiedLRU builds the scheme over a size/ways/lineSize geometry.
+// defaultQuota is the block budget for ASIDs without an explicit quota;
+// 0 means an equal share is computed lazily per distinct ASID seen is NOT
+// attempted — 0 simply means "no budget: always replace locally once any
+// block is held" is too strict, so 0 defaults to the full capacity
+// (i.e. unconstrained until SetQuota is called).
+func NewModifiedLRU(size uint64, ways int, lineSize uint64, defaultQuota uint64) (*ModifiedLRU, error) {
+	b, err := newBase(size, ways, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	if defaultQuota == 0 {
+		defaultQuota = size / lineSize
+	}
+	return &ModifiedLRU{
+		base:         b,
+		name:         fmt.Sprintf("%s ModifiedLRU", geomName(size, ways)),
+		quota:        map[uint16]uint64{},
+		defaultQuota: defaultQuota,
+		held:         map[uint16]uint64{},
+	}, nil
+}
+
+// SetQuota assigns an ASID's block budget (Suh's controller output).
+func (m *ModifiedLRU) SetQuota(asid uint16, blocks uint64) {
+	m.quota[asid] = blocks
+}
+
+// Quota returns the effective budget for an ASID.
+func (m *ModifiedLRU) Quota(asid uint16) uint64 {
+	if q, ok := m.quota[asid]; ok {
+		return q
+	}
+	return m.defaultQuota
+}
+
+// Held returns the ASID's current resident block count.
+func (m *ModifiedLRU) Held(asid uint16) uint64 { return m.held[asid] }
+
+// Name implements engine.Cache.
+func (m *ModifiedLRU) Name() string { return m.name }
+
+// Access implements engine.Cache.
+func (m *ModifiedLRU) Access(r trace.Ref) engine.Result {
+	setBase, tag := m.locate(r.Addr)
+	res := engine.Result{TagProbes: m.ways, DataReads: 1}
+	if w := m.probe(setBase, tag, r); w >= 0 {
+		res.Hit = true
+		m.ledger.Record(r.ASID, true)
+		return res
+	}
+
+	// Miss: pick the victim way per the quota rule.
+	w := m.victim(setBase, r.ASID)
+	old := m.lines[setBase+w]
+	if old.valid {
+		m.held[old.asid]--
+	}
+	m.install(setBase, w, tag, r, &res)
+	m.held[r.ASID]++
+	m.ledger.Record(r.ASID, false)
+	return res
+}
+
+// victim selects the way to replace in the set for the given requestor.
+func (m *ModifiedLRU) victim(setBase int, asid uint16) int {
+	// Invalid ways first, regardless of quotas.
+	for w := 0; w < m.ways; w++ {
+		if !m.lines[setBase+w].valid {
+			return w
+		}
+	}
+	local := m.held[asid] >= m.Quota(asid)
+	best, bestStamp := -1, uint64(0)
+	for w := 0; w < m.ways; w++ {
+		ln := &m.lines[setBase+w]
+		if local && ln.asid != asid {
+			continue
+		}
+		if best < 0 || ln.stamp < bestStamp {
+			best, bestStamp = w, ln.stamp
+		}
+	}
+	if best < 0 {
+		// Local replacement demanded but the requestor holds nothing in
+		// this set: Suh's scheme falls back to global LRU here.
+		for w := 0; w < m.ways; w++ {
+			ln := &m.lines[setBase+w]
+			if best < 0 || ln.stamp < bestStamp {
+				best, bestStamp = w, ln.stamp
+			}
+		}
+	}
+	return best
+}
+
+// geomName renders "1MB 4-way" style names.
+func geomName(size uint64, ways int) string {
+	return fmt.Sprintf("%s %d-way", addr.Bytes(size), ways)
+}

@@ -1,0 +1,346 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"molcache/internal/trace"
+)
+
+func rd(asid uint16, a uint64) trace.Ref {
+	return trace.Ref{Addr: a, ASID: asid, Kind: trace.Read}
+}
+
+func wr(asid uint16, a uint64) trace.Ref {
+	return trace.Ref{Addr: a, ASID: asid, Kind: trace.Write}
+}
+
+// --- base geometry ---
+
+func TestBaseValidation(t *testing.T) {
+	cases := []struct {
+		size  uint64
+		ways  int
+		line  uint64
+		valid bool
+	}{
+		{1 << 20, 4, 64, true},
+		{1000, 4, 64, false},
+		{1 << 20, 3, 64, false},
+		{1 << 20, 4, 60, false},
+		{128, 4, 64, false},
+	}
+	for _, c := range cases {
+		_, err := newBase(c.size, c.ways, c.line)
+		if (err == nil) != c.valid {
+			t.Errorf("newBase(%d,%d,%d): err=%v, want valid=%v",
+				c.size, c.ways, c.line, err, c.valid)
+		}
+	}
+}
+
+// --- ModifiedLRU ---
+
+func TestModifiedLRUBasicHitMiss(t *testing.T) {
+	m, err := NewModifiedLRU(512, 2, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Access(rd(1, 0)).Hit {
+		t.Error("cold hit")
+	}
+	if !m.Access(rd(1, 0)).Hit {
+		t.Error("warm miss")
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// A process at its quota must evict its own blocks, protecting others.
+func TestModifiedLRUQuotaProtectsOthers(t *testing.T) {
+	// 4 sets x 4 ways of 64B = 1KB.
+	m, err := NewModifiedLRU(1024, 4, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// App 1 owns 2 blocks' quota; app 2 unconstrained.
+	m.SetQuota(1, 2)
+	// App 2 fills two ways of set 0 (set stride 4*64=256).
+	m.Access(rd(2, 0))
+	m.Access(rd(2, 256))
+	// App 1 fills its quota, then keeps missing in set 0.
+	m.Access(rd(1, 512))
+	m.Access(rd(1, 768))
+	m.Access(rd(1, 1024)) // over quota: must evict app 1's own LRU (512)
+	if !m.Access(rd(2, 0)).Hit || !m.Access(rd(2, 256)).Hit {
+		t.Error("app 2's blocks were evicted despite app 1's quota")
+	}
+	if m.Access(rd(1, 512)).Hit {
+		t.Error("app 1's own LRU was not the victim")
+	}
+	if m.Held(1) != 2 {
+		t.Errorf("app 1 holds %d blocks, want 2 (its quota)", m.Held(1))
+	}
+}
+
+// Below quota, replacement is global LRU (may evict other owners).
+func TestModifiedLRUGlobalBelowQuota(t *testing.T) {
+	m, err := NewModifiedLRU(512, 2, 64, 0) // 4 sets x 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Access(rd(2, 0))   // app 2
+	m.Access(rd(2, 256)) // app 2: set 0 full (set stride 2*64=128... )
+	// set stride is sets*line = 4*64 = 256; so 0 and 256 share set 0.
+	m.Access(rd(1, 512)) // app 1 below quota: global LRU (evicts app 2's 0)
+	if m.Access(rd(2, 0)).Hit {
+		t.Error("global replacement did not evict the overall LRU")
+	}
+}
+
+func TestModifiedLRULocalFallbackWhenAbsentFromSet(t *testing.T) {
+	m, err := NewModifiedLRU(512, 2, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetQuota(1, 1)
+	m.Access(rd(1, 0))   // set 0: app 1 at quota
+	m.Access(rd(2, 128)) // set 2 maybe; irrelevant filler
+	m.Access(rd(2, 256)) // set 0 second way
+	// App 1 at quota misses in set 1 where it holds nothing: the scheme
+	// must fall back to global LRU there rather than deadlock.
+	res := m.Access(rd(1, 64))
+	if res.Hit || res.LinesFetched != 1 {
+		t.Errorf("fallback install failed: %+v", res)
+	}
+}
+
+func TestModifiedLRUHeldAccounting(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, err := NewModifiedLRU(1024, 4, 64, 3)
+		if err != nil {
+			return false
+		}
+		for i, op := range ops {
+			asid := uint16(op%3) + 1
+			a := uint64(op) * 64 % 4096
+			if i%2 == 0 {
+				m.Access(rd(asid, a))
+			} else {
+				m.Access(wr(asid, a))
+			}
+		}
+		// held must equal actual occupancy for every ASID.
+		occ := m.occupancy()
+		for asid, n := range occ {
+			if m.Held(asid) != uint64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- ColumnCache ---
+
+func TestColumnCacheAssignmentValidation(t *testing.T) {
+	c, err := NewColumnCache(1024, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignColumns(1, 5); err == nil {
+		t.Error("out-of-range way accepted")
+	}
+	if err := c.AssignColumns(1); err == nil {
+		t.Error("empty column set accepted")
+	}
+	if err := c.AssignColumns(1, 0, 1); err != nil {
+		t.Error(err)
+	}
+	if got := c.Columns(1); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Columns = %v", got)
+	}
+	// Unassigned ASIDs may use every way.
+	if got := c.Columns(9); len(got) != 4 {
+		t.Errorf("default Columns = %v", got)
+	}
+}
+
+func TestColumnCacheEqualSplit(t *testing.T) {
+	c, err := NewColumnCache(2048, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignEqualColumns(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	seen := map[int]bool{}
+	for _, asid := range []uint16{1, 2, 3} {
+		cols := c.Columns(asid)
+		total += len(cols)
+		for _, w := range cols {
+			if seen[w] {
+				t.Errorf("way %d assigned twice", w)
+			}
+			seen[w] = true
+		}
+	}
+	if total != 8 {
+		t.Errorf("split covers %d ways, want 8", total)
+	}
+	if err := c.AssignEqualColumns(); err == nil {
+		t.Error("empty split accepted")
+	}
+}
+
+// Column isolation: app 1's misses can never evict app 2's columns.
+func TestColumnCacheIsolation(t *testing.T) {
+	c, err := NewColumnCache(1024, 4, 64) // 4 sets
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignColumns(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignColumns(2, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	// App 2 installs two lines in set 0 (stride 4*64 = 256).
+	c.Access(rd(2, 0))
+	c.Access(rd(2, 256))
+	// App 1 storms set 0 far beyond its two columns.
+	for i := uint64(0); i < 64; i++ {
+		c.Access(rd(1, 4096+i*256))
+	}
+	if !c.Access(rd(2, 0)).Hit || !c.Access(rd(2, 256)).Hit {
+		t.Error("app 2's columns were polluted by app 1")
+	}
+}
+
+// Lookup is unrestricted: after columns are reassigned, previously
+// installed lines remain reachable.
+func TestColumnCacheLookupUnrestricted(t *testing.T) {
+	c, err := NewColumnCache(1024, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignColumns(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Access(rd(1, 0)) // lands in way 0
+	if err := c.AssignColumns(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Access(rd(1, 0)).Hit {
+		t.Error("line unreachable after column reassignment")
+	}
+}
+
+func TestColumnCacheTooManyWays(t *testing.T) {
+	if _, err := NewColumnCache(1<<20, 128, 64); err == nil {
+		t.Error("128 ways accepted (mask is 64-bit)")
+	}
+}
+
+// --- HomeBank ---
+
+func TestHomeBankBasics(t *testing.T) {
+	h, err := NewHomeBank(4, 512, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Access(rd(1, 0)).Hit {
+		t.Error("cold hit")
+	}
+	if !h.Access(rd(1, 0)).Hit {
+		t.Error("warm miss")
+	}
+	if h.Name() == "" {
+		t.Error("empty name")
+	}
+	if err := h.SetHome(1, 9); err == nil {
+		t.Error("out-of-range home accepted")
+	}
+}
+
+func TestHomeBankFillsHomeFirst(t *testing.T) {
+	h, err := NewHomeBank(2, 512, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetHome(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetHome(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	res := h.Access(rd(1, 0))
+	if res.Hit {
+		t.Fatal("cold hit")
+	}
+	// The line lives in bank 0; app 2 (home bank 1) can still reach it
+	// via the global fallback search, flagged as a remote hit.
+	res = h.Access(rd(2, 0))
+	if !res.Hit || !res.RemoteTileHit {
+		t.Errorf("cross-bank hit = %+v, want remote hit", res)
+	}
+	// App 1's own re-access is a home hit.
+	res = h.Access(rd(1, 0))
+	if !res.Hit || res.RemoteTileHit {
+		t.Errorf("home hit = %+v", res)
+	}
+}
+
+func TestHomeBankIsolationUnderConflict(t *testing.T) {
+	h, err := NewHomeBank(2, 512, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetHome(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetHome(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// App 2 installs a line; app 1 storms its own home bank.
+	h.Access(rd(2, 64))
+	for i := uint64(0); i < 64; i++ {
+		h.Access(rd(1, 4096+i*512))
+	}
+	if !h.Access(rd(2, 64)).Hit {
+		t.Error("app 1's home-bank churn evicted app 2's bank")
+	}
+}
+
+func TestHomeBankDefaultHomeHash(t *testing.T) {
+	h, err := NewHomeBank(4, 512, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Home(6) != 2 {
+		t.Errorf("Home(6) = %d, want 6 %% 4 = 2", h.Home(6))
+	}
+}
+
+func TestHomeBankLedger(t *testing.T) {
+	h, err := NewHomeBank(2, 512, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(rd(3, 0))
+	h.Access(rd(3, 0))
+	if got := h.Ledger().App(3); got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("ledger = %+v", got)
+	}
+}
+
+func TestHomeBankRejectsZeroBanks(t *testing.T) {
+	if _, err := NewHomeBank(0, 512, 2, 64); err == nil {
+		t.Error("zero banks accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"molcache/internal/addr"
+)
+
+// sqrtf is a local alias keeping call sites compact.
+func sqrtf(x float64) float64 { return math.Sqrt(x) }
+
+// MolecularGeometry describes a molecular cache for power purposes
+// (Table 3's configuration columns).
+type MolecularGeometry struct {
+	// TotalBytes is the aggregate capacity.
+	TotalBytes uint64
+	// MoleculeBytes is one molecule's capacity (8-32 KB per the paper).
+	MoleculeBytes uint64
+	// LineBytes is the molecule line size (64 B in the paper).
+	LineBytes uint64
+	// TileMolecules is the number of molecules per tile.
+	TileMolecules int
+	// PortsPerCluster is the number of read/write ports per tile
+	// cluster (1 in the paper's Table 3).
+	PortsPerCluster int
+}
+
+// Validate checks the geometry.
+func (g MolecularGeometry) Validate() error {
+	if g.TotalBytes == 0 {
+		return fmt.Errorf("power: total size must be positive")
+	}
+	if err := addr.CheckPow2("molecule size", g.MoleculeBytes); err != nil {
+		return err
+	}
+	if g.TileMolecules < 1 {
+		return fmt.Errorf("power: tile must hold at least one molecule")
+	}
+	if g.PortsPerCluster < 1 {
+		return fmt.Errorf("power: cluster needs at least one port")
+	}
+	return nil
+}
+
+// MolecularEstimate reports the energy structure of a molecular cache.
+type MolecularEstimate struct {
+	Geometry MolecularGeometry
+	// Molecule is the model output for a single molecule bank.
+	Molecule Estimate
+	// ASIDCheckEnergy is the per-molecule ASID comparator energy (nJ),
+	// charged for every molecule on the tile on every access (the
+	// comparison is what *gates* the expensive array access).
+	ASIDCheckEnergy float64
+	// RoutingEnergy is the per-access tile/Ulmo routing overhead (nJ).
+	RoutingEnergy float64
+}
+
+// asidBits is the width of the Application Space Identifier compared in
+// the molecule decode stage (Figure 3).
+const asidBits = 16
+
+// ModelMolecular evaluates the molecule building block under t.
+func ModelMolecular(g MolecularGeometry, t Tech) (MolecularEstimate, error) {
+	if err := g.Validate(); err != nil {
+		return MolecularEstimate{}, err
+	}
+	mol, err := Model(Geometry{
+		SizeBytes: g.MoleculeBytes,
+		Assoc:     1, // molecules are direct mapped by definition
+		LineBytes: g.LineBytes,
+		Ports:     g.PortsPerCluster,
+	}, t)
+	if err != nil {
+		return MolecularEstimate{}, err
+	}
+	// Routing from the tile port across the molecules spans a wire run
+	// proportional to the tile's physical side.
+	tileBits := float64(8 * g.MoleculeBytes * uint64(g.TileMolecules))
+	return MolecularEstimate{
+		Geometry:        g,
+		Molecule:        mol,
+		ASIDCheckEnergy: t.CompareEnergyPerBit * asidBits,
+		RoutingEnergy:   t.WireEnergyPerSide * sqrtf(tileBits),
+	}, nil
+}
+
+// AccessEnergy returns the energy of one molecular-cache access that
+// probed the given number of molecules: every molecule on the tile pays
+// the ASID comparison, but only the probed molecules activate their
+// arrays. This selective enablement is the paper's core power mechanism.
+func (m MolecularEstimate) AccessEnergy(probedMolecules int) float64 {
+	if probedMolecules < 0 {
+		probedMolecules = 0
+	}
+	return float64(m.Geometry.TileMolecules)*m.ASIDCheckEnergy +
+		float64(probedMolecules)*m.Molecule.AccessEnergy +
+		m.RoutingEnergy
+}
+
+// WorstCaseEnergy is the access energy with every molecule of a tile
+// enabled — the paper's reported worst case.
+func (m MolecularEstimate) WorstCaseEnergy() float64 {
+	return m.AccessEnergy(m.Geometry.TileMolecules)
+}
+
+// PowerWatts converts an access energy (nJ) into dynamic watts at the
+// comparison frequency (one access per cycle, as in Table 4).
+func PowerWatts(accessEnergyNJ, freqMHz float64) float64 {
+	return accessEnergyNJ * freqMHz / 1000
+}
+
+// CycleTime returns the molecular access cycle: molecule access plus the
+// one extra ASID-comparison stage the paper says the decode path gains.
+func (m MolecularEstimate) CycleTime() float64 {
+	const asidStage = 0.15 // ns, one comparator stage at 70nm
+	return m.Molecule.CycleTime + asidStage
+}

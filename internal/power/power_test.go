@@ -1,0 +1,196 @@
+package power
+
+import (
+	"testing"
+
+	"molcache/internal/addr"
+)
+
+func mustModel(t *testing.T, g Geometry) Estimate {
+	t.Helper()
+	e, err := Model(g, Tech70)
+	if err != nil {
+		t.Fatalf("Model(%+v): %v", g, err)
+	}
+	return e
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Geometry{
+		{SizeBytes: 1000, Assoc: 1, LineBytes: 64, Ports: 1},
+		{SizeBytes: 8192, Assoc: 3, LineBytes: 64, Ports: 1},
+		{SizeBytes: 8192, Assoc: 1, LineBytes: 63, Ports: 1},
+		{SizeBytes: 8192, Assoc: 1, LineBytes: 64, Ports: 0},
+		{SizeBytes: 64, Assoc: 2, LineBytes: 64, Ports: 1},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", g)
+		}
+	}
+}
+
+func TestEnergyGrowsWithAssociativity(t *testing.T) {
+	prev := 0.0
+	for _, assoc := range []int{1, 2, 4, 8} {
+		e := mustModel(t, Geometry{SizeBytes: 8 * addr.MB, Assoc: assoc, LineBytes: 64, Ports: 4})
+		if e.AccessEnergy <= prev {
+			t.Errorf("assoc %d: energy %.3f nJ not greater than previous %.3f",
+				assoc, e.AccessEnergy, prev)
+		}
+		prev = e.AccessEnergy
+	}
+}
+
+func TestCycleTimeGrowsWithAssociativity(t *testing.T) {
+	dm := mustModel(t, Geometry{SizeBytes: 8 * addr.MB, Assoc: 1, LineBytes: 64, Ports: 4})
+	w8 := mustModel(t, Geometry{SizeBytes: 8 * addr.MB, Assoc: 8, LineBytes: 64, Ports: 4})
+	if w8.CycleTime <= dm.CycleTime {
+		t.Errorf("8-way cycle %.2f ns not slower than DM %.2f ns", w8.CycleTime, dm.CycleTime)
+	}
+	// The paper's Table 4 shows roughly a 2x frequency cliff at 8-way.
+	if ratio := w8.CycleTime / dm.CycleTime; ratio < 1.5 {
+		t.Errorf("8-way/DM cycle ratio = %.2f, want >= 1.5", ratio)
+	}
+}
+
+func TestEnergyGrowsWithSize(t *testing.T) {
+	small := mustModel(t, Geometry{SizeBytes: 8 * addr.KB, Assoc: 1, LineBytes: 64, Ports: 1})
+	big := mustModel(t, Geometry{SizeBytes: 8 * addr.MB, Assoc: 1, LineBytes: 64, Ports: 1})
+	if big.AccessEnergy <= small.AccessEnergy {
+		t.Error("8MB access should cost more than 8KB access")
+	}
+	// The molecule advantage the paper builds on: a small DM bank costs
+	// well under a tenth of a monolithic multi-megabyte bank per probe.
+	if small.AccessEnergy*10 > big.AccessEnergy {
+		t.Errorf("8KB molecule (%.4f nJ) not <= 10%% of 8MB bank (%.4f nJ)",
+			small.AccessEnergy, big.AccessEnergy)
+	}
+}
+
+func TestPortsIncreaseEnergyAndDelay(t *testing.T) {
+	g1 := mustModel(t, Geometry{SizeBytes: addr.MB, Assoc: 2, LineBytes: 64, Ports: 1})
+	g4 := mustModel(t, Geometry{SizeBytes: addr.MB, Assoc: 2, LineBytes: 64, Ports: 4})
+	if g4.AccessEnergy <= g1.AccessEnergy || g4.CycleTime <= g1.CycleTime {
+		t.Errorf("4 ports (E=%.3f, t=%.3f) not more expensive than 1 port (E=%.3f, t=%.3f)",
+			g4.AccessEnergy, g4.CycleTime, g1.AccessEnergy, g1.CycleTime)
+	}
+}
+
+func TestTable4AnchorBallpark(t *testing.T) {
+	// The paper's 8MB DM 4-port config runs at ~199 MHz and ~4.9 W.
+	// Require the model to land within a factor of two of both.
+	e := mustModel(t, Geometry{SizeBytes: 8 * addr.MB, Assoc: 1, LineBytes: 64, Ports: 4})
+	f := e.FrequencyMHz()
+	if f < 100 || f > 400 {
+		t.Errorf("8MB DM frequency = %.0f MHz, want within [100, 400]", f)
+	}
+	p := e.PowerWatts(f)
+	if p < 2.4 || p > 10 {
+		t.Errorf("8MB DM power = %.2f W, want within [2.4, 10]", p)
+	}
+}
+
+func TestPowerWattsUnits(t *testing.T) {
+	e := Estimate{AccessEnergy: 25} // nJ
+	if got := e.PowerWatts(200); got != 5 {
+		t.Errorf("25 nJ at 200 MHz = %v W, want 5", got)
+	}
+	if got := PowerWatts(25, 200); got != 5 {
+		t.Errorf("PowerWatts helper = %v, want 5", got)
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	g := Geometry{SizeBytes: 2 * addr.MB, Assoc: 4, LineBytes: 64, Ports: 1}
+	a := mustModel(t, g)
+	b := mustModel(t, g)
+	if a != b {
+		t.Errorf("Model not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMolecularSelectiveEnablement(t *testing.T) {
+	me, err := ModelMolecular(MolecularGeometry{
+		TotalBytes:      8 * addr.MB,
+		MoleculeBytes:   8 * addr.KB,
+		LineBytes:       64,
+		TileMolecules:   64,
+		PortsPerCluster: 1,
+	}, Tech70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few := me.AccessEnergy(4)
+	all := me.WorstCaseEnergy()
+	if few >= all {
+		t.Errorf("probing 4 molecules (%.3f nJ) not cheaper than all 64 (%.3f nJ)", few, all)
+	}
+	// Selective enablement must make a real difference: probing 4 of 64
+	// molecules should cost well under half the worst case.
+	if few > all/2 {
+		t.Errorf("selective enablement too weak: 4-probe=%.3f, worst=%.3f", few, all)
+	}
+	if me.AccessEnergy(-1) > me.AccessEnergy(0) {
+		t.Error("negative probe count not clamped")
+	}
+}
+
+// The headline mechanism: a molecular cache probing a typical partition's
+// home-tile molecules must beat an equally sized 4-way traditional cache
+// at the same frequency.
+func TestMolecularBeatsTraditionalAtTypicalProbes(t *testing.T) {
+	trad := mustModel(t, Geometry{SizeBytes: 8 * addr.MB, Assoc: 4, LineBytes: 64, Ports: 4})
+	me, err := ModelMolecular(MolecularGeometry{
+		TotalBytes:      8 * addr.MB,
+		MoleculeBytes:   8 * addr.KB,
+		LineBytes:       64,
+		TileMolecules:   64,
+		PortsPerCluster: 1,
+	}, Tech70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := trad.FrequencyMHz()
+	// A partition typically holds ~half a tile (the paper's initial
+	// allocation), i.e. 32 molecules probed.
+	molW := PowerWatts(me.AccessEnergy(32), f)
+	tradW := trad.PowerWatts(f)
+	if molW >= tradW {
+		t.Errorf("molecular %.2f W not below traditional 4-way %.2f W", molW, tradW)
+	}
+}
+
+func TestMolecularValidate(t *testing.T) {
+	bad := []MolecularGeometry{
+		{TotalBytes: 0, MoleculeBytes: 8192, LineBytes: 64, TileMolecules: 4, PortsPerCluster: 1},
+		{TotalBytes: 1 << 20, MoleculeBytes: 9000, LineBytes: 64, TileMolecules: 4, PortsPerCluster: 1},
+		{TotalBytes: 1 << 20, MoleculeBytes: 8192, LineBytes: 64, TileMolecules: 0, PortsPerCluster: 1},
+		{TotalBytes: 1 << 20, MoleculeBytes: 8192, LineBytes: 64, TileMolecules: 4, PortsPerCluster: 0},
+	}
+	for _, g := range bad {
+		if _, err := ModelMolecular(g, Tech70); err == nil {
+			t.Errorf("ModelMolecular(%+v) = nil error, want error", g)
+		}
+	}
+}
+
+func TestMolecularCycleTime(t *testing.T) {
+	me, err := ModelMolecular(MolecularGeometry{
+		TotalBytes: 8 * addr.MB, MoleculeBytes: 8 * addr.KB, LineBytes: 64,
+		TileMolecules: 64, PortsPerCluster: 1,
+	}, Tech70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.CycleTime() <= me.Molecule.CycleTime {
+		t.Error("ASID stage did not lengthen the molecular cycle")
+	}
+	// A molecule plus the ASID stage must still be far faster than a
+	// monolithic 8MB bank — that is why molecules are the building block.
+	big := mustModel(t, Geometry{SizeBytes: 8 * addr.MB, Assoc: 1, LineBytes: 64, Ports: 4})
+	if me.CycleTime() >= big.CycleTime {
+		t.Errorf("molecule cycle %.2f ns not faster than 8MB bank %.2f ns",
+			me.CycleTime(), big.CycleTime)
+	}
+}

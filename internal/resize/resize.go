@@ -1,0 +1,535 @@
+// Package resize implements the paper's dynamic partition-sizing scheme
+// (§3.4 and Algorithm 1): a controller that periodically reads each
+// region's windowed miss rate and grows or shrinks the partition toward
+// its miss-rate goal, with an adaptive resize period and miss-counter-
+// guided placement.
+//
+// The paper runs this computation in an OS daemon costing ~1500 cycles
+// per application every ~25,000 references; we model exactly that —
+// a synchronous callback every period with an accounted cycle cost.
+//
+// Algorithm 1 interpretation (the pseudo-code leaves units implicit; see
+// DESIGN.md §2):
+//
+//   - miss rate > 50%: grow by one maxAllocation chunk, after clamping
+//     maxAllocation down to the last allocation actually obtained;
+//   - miss rate < goal: withdraw sqrt(current * miss/goal) molecules — a
+//     self-limiting count that stops as the miss rate rises toward the
+//     goal ("withdraw molecules more slowly than you add");
+//   - goal <= miss <= 50% and improving (miss < lastMiss): grow linearly
+//     toward target = current * miss/goal, at most maxAllocation at once;
+//   - otherwise: leave the partition alone this period.
+//
+// After the sweep the resize period doubles when the overall miss rate is
+// within goal and collapses to 10% of itself when it is not.
+package resize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"molcache/internal/molecular"
+)
+
+// TriggerKind selects when resizing runs.
+type TriggerKind string
+
+const (
+	// Constant resizes every Period addresses, unconditionally.
+	Constant TriggerKind = "constant"
+	// AdaptiveGlobal adapts one shared period from the cache-wide miss
+	// rate (the paper finds this best for small tiles).
+	AdaptiveGlobal TriggerKind = "adaptive-global"
+	// AdaptivePerApp adapts an independent period per application from
+	// that application's miss rate (better for tiles >= 2 MB per the
+	// paper).
+	AdaptivePerApp TriggerKind = "adaptive-per-app"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Period is the initial resize period, in addresses serviced by the
+	// cache (the paper's experimentally chosen default is 25000).
+	Period uint64
+	// Trigger selects constant or adaptive scheduling.
+	Trigger TriggerKind
+	// MaxAllocation bounds molecules added in one chunk (default 8).
+	MaxAllocation int
+	// DefaultGoal is the miss-rate goal for applications without an
+	// entry in Goals. Zero means "no goal": such applications are
+	// never resized (Figure 5's Graph B exempts mcf this way).
+	DefaultGoal float64
+	// Goals overrides the goal per ASID.
+	Goals map[uint16]float64
+	// MinPeriod and MaxPeriod clamp period adaptation
+	// (defaults 1000 and 100000). The cap bounds how long a phase
+	// change can go unnoticed after a quiet stretch.
+	MinPeriod, MaxPeriod uint64
+	// CostCyclesPerApp models the daemon's compute cost (default 1500,
+	// the paper's measured figure).
+	CostCyclesPerApp uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period == 0 {
+		c.Period = 25000
+	}
+	if c.Trigger == "" {
+		c.Trigger = AdaptiveGlobal
+	}
+	if c.MaxAllocation == 0 {
+		c.MaxAllocation = 8
+	}
+	if c.MinPeriod == 0 {
+		c.MinPeriod = 1000
+	}
+	if c.MaxPeriod == 0 {
+		c.MaxPeriod = 100000
+	}
+	if c.CostCyclesPerApp == 0 {
+		c.CostCyclesPerApp = 1500
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.Trigger {
+	case Constant, AdaptiveGlobal, AdaptivePerApp:
+	default:
+		return fmt.Errorf("resize: unknown trigger %q", c.Trigger)
+	}
+	if c.DefaultGoal < 0 || c.DefaultGoal >= 1 {
+		return fmt.Errorf("resize: default goal %v outside [0,1)", c.DefaultGoal)
+	}
+	for asid, g := range c.Goals {
+		if g <= 0 || g >= 1 {
+			return fmt.Errorf("resize: goal %v for ASID %d outside (0,1)", g, asid)
+		}
+	}
+	if c.MinPeriod > c.MaxPeriod {
+		return fmt.Errorf("resize: MinPeriod %d > MaxPeriod %d", c.MinPeriod, c.MaxPeriod)
+	}
+	return nil
+}
+
+// Action names what the controller did to one partition.
+type Action string
+
+const (
+	// ActionGrowChunk is the >50% miss-rate emergency growth.
+	ActionGrowChunk Action = "grow-chunk"
+	// ActionGrowLinear is the linear-model growth toward the goal.
+	ActionGrowLinear Action = "grow-linear"
+	// ActionShrink is the conservative sqrt-model withdrawal.
+	ActionShrink Action = "shrink"
+	// ActionNone means the partition was inspected but left alone.
+	ActionNone Action = "none"
+	// ActionRebalance moved a molecule between replacement-view rows
+	// because the free pool could not satisfy a grow.
+	ActionRebalance Action = "rebalance"
+)
+
+// Event records one per-partition resize decision, for tests, the
+// resizing example and ablation benches.
+type Event struct {
+	// At is the cache-wide address count when the decision ran.
+	At uint64
+	// ASID identifies the partition.
+	ASID uint16
+	// MissRate is the windowed miss rate that drove the decision.
+	MissRate float64
+	// Action is what was done.
+	Action Action
+	// Delta is the signed change in molecules actually effected.
+	Delta int
+	// Size is the partition size after the decision.
+	Size int
+}
+
+// appState carries per-application controller state.
+type appState struct {
+	lastMiss   float64
+	haveLast   bool
+	lastAction Action
+	lastAlloc  int
+	maxAlloc   int
+	// floor is the partition size the controller will not shrink below:
+	// set when a shrink was immediately followed by a blown goal (the
+	// miss-vs-size cliff was found), decayed slowly to allow re-probing.
+	floor     int
+	preShrink int
+	floorAge  int
+	shrinkAge int
+	// rebalanceCool spaces out row rebalances (each flushes a molecule).
+	rebalanceCool int
+	// Emergency-growth payoff audit state.
+	growSinceMark int
+	missAtMark    float64
+	markAt        uint64
+	frozen        int
+	period        uint64 // per-app trigger only
+	nextAt        uint64 // per-app trigger only (in app-local accesses)
+}
+
+// Controller drives periodic resizing of a molecular cache.
+type Controller struct {
+	cfg    Config
+	cache  *molecular.Cache
+	period uint64
+	nextAt uint64
+	apps   map[uint16]*appState
+	events []Event
+	cycles uint64
+}
+
+// New builds a controller for cache.
+func New(cache *molecular.Cache, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:    cfg,
+		cache:  cache,
+		period: cfg.Period,
+		nextAt: cfg.Period,
+		apps:   make(map[uint16]*appState),
+	}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(cache *molecular.Cache, cfg Config) *Controller {
+	c, err := New(cache, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Goal returns the miss-rate goal for asid (0 = unmanaged).
+func (c *Controller) Goal(asid uint16) float64 {
+	if g, ok := c.cfg.Goals[asid]; ok {
+		return g
+	}
+	return c.cfg.DefaultGoal
+}
+
+// Events returns the decision log.
+func (c *Controller) Events() []Event { return c.events }
+
+// CyclesSpent returns the modelled daemon compute cost so far.
+func (c *Controller) CyclesSpent() uint64 { return c.cycles }
+
+// Period returns the current (global) resize period.
+func (c *Controller) Period() uint64 { return c.period }
+
+// state returns (creating if needed) the per-app state.
+func (c *Controller) state(asid uint16) *appState {
+	s := c.apps[asid]
+	if s == nil {
+		s = &appState{
+			maxAlloc: c.cfg.MaxAllocation,
+			period:   c.cfg.Period,
+			nextAt:   c.cfg.Period,
+		}
+		c.apps[asid] = s
+	}
+	return s
+}
+
+// Tick must be called after every cache access; it fires the resize pass
+// when a trigger is due. Returns true when a resize pass ran.
+func (c *Controller) Tick() bool {
+	switch c.cfg.Trigger {
+	case Constant, AdaptiveGlobal:
+		if c.cache.Addresses() < c.nextAt {
+			return false
+		}
+		c.resizeAll()
+		c.adaptGlobal()
+		c.nextAt = c.cache.Addresses() + c.period
+		return true
+	case AdaptivePerApp:
+		fired := false
+		for _, r := range c.cache.Regions() {
+			if r.ASID() == molecular.SharedASID {
+				continue
+			}
+			s := c.state(r.ASID())
+			if r.Ledger().Accesses() < s.nextAt {
+				continue
+			}
+			miss := c.resizeOne(r, s)
+			// Adapt this app's own period.
+			if goal := c.Goal(r.ASID()); goal > 0 {
+				if miss < goal {
+					s.period = clamp(s.period*2, c.cfg.MinPeriod, c.cfg.MaxPeriod)
+				} else {
+					s.period = clamp(s.period/10, c.cfg.MinPeriod, c.cfg.MaxPeriod)
+				}
+			}
+			s.nextAt = r.Ledger().Accesses() + s.period
+			fired = true
+		}
+		return fired
+	default:
+		panic("resize: unreachable trigger " + string(c.cfg.Trigger))
+	}
+}
+
+// resizeAll runs Algorithm 1 over every partition, neediest first, so
+// that when the free pool cannot satisfy everyone the worst-missing
+// partition gets first claim.
+func (c *Controller) resizeAll() {
+	regions := c.cache.Regions()
+	sort.SliceStable(regions, func(i, j int) bool {
+		return regions[i].Window().Snapshot().MissRate() >
+			regions[j].Window().Snapshot().MissRate()
+	})
+	for _, r := range regions {
+		if r.ASID() == molecular.SharedASID {
+			continue
+		}
+		c.resizeOne(r, c.state(r.ASID()))
+	}
+}
+
+// adaptGlobal updates the shared period from the cache-wide miss rate
+// (AdaptiveGlobal only; Constant keeps its period).
+func (c *Controller) adaptGlobal() {
+	if c.cfg.Trigger != AdaptiveGlobal {
+		c.cache.GlobalWindow().Roll()
+		return
+	}
+	w := c.cache.GlobalWindow().Roll()
+	goal := c.globalGoal()
+	if w.Accesses() == 0 || goal <= 0 {
+		return
+	}
+	if w.MissRate() < goal {
+		c.period = clamp(c.period*2, c.cfg.MinPeriod, c.cfg.MaxPeriod)
+	} else {
+		c.period = clamp(c.period/10, c.cfg.MinPeriod, c.cfg.MaxPeriod)
+	}
+}
+
+// globalGoal is the mean of the managed applications' goals.
+func (c *Controller) globalGoal() float64 {
+	sum, n := 0.0, 0
+	for _, r := range c.cache.Regions() {
+		if r.ASID() == molecular.SharedASID {
+			continue
+		}
+		if g := c.Goal(r.ASID()); g > 0 {
+			sum += g
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// resizeOne applies Algorithm 1 to one partition and returns the windowed
+// miss rate it used.
+func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
+	c.cycles += c.cfg.CostCyclesPerApp
+	w := r.Window().Roll()
+	goal := c.Goal(r.ASID())
+	miss := w.MissRate()
+	ev := Event{
+		At:       c.cache.Addresses(),
+		ASID:     r.ASID(),
+		MissRate: miss,
+		Action:   ActionNone,
+	}
+	defer func() {
+		ev.Size = r.MoleculeCount()
+		c.events = append(c.events, ev)
+		// Consume the epoch's placement counters only after the grow/
+		// shrink placement has used them.
+		r.ResetEpoch()
+		s.lastMiss = miss
+		s.haveLast = true
+		s.lastAction = ev.Action
+	}()
+	if goal <= 0 || w.Accesses() == 0 {
+		return miss
+	}
+	// Shrink regret: a shrink that blew the goal found the partition's
+	// miss-vs-size cliff; pin the floor at the pre-shrink size so the
+	// controller stops oscillating across the cliff. The first window
+	// after a shrink is skipped — it carries the flushed molecules'
+	// refetch transient, not the steady state. The floor decays slowly
+	// so a phase change can be re-probed.
+	if s.lastAction == ActionShrink {
+		s.shrinkAge = 0
+	} else {
+		s.shrinkAge++
+	}
+	if s.shrinkAge == 1 && miss > goal && s.preShrink > s.floor {
+		s.floor = s.preShrink
+		s.floorAge = 0
+	}
+	if s.rebalanceCool > 0 {
+		s.rebalanceCool--
+	}
+	if s.floor > 1 {
+		s.floorAge++
+		if s.floorAge > floorDecayPeriods {
+			s.floor--
+			s.floorAge = 0
+		}
+	}
+	cur := r.MoleculeCount()
+	switch {
+	case miss > 0.5 && miss > goal:
+		// Emergency growth by one chunk; per the pseudo-code, the chunk
+		// clamps down to what the cluster actually delivered last time,
+		// so a partition in a drained cluster stops over-requesting.
+		//
+		// Payoff audit: a pure-streaming application (CRC) misses at
+		// 100% no matter how many molecules it holds; feeding it only
+		// starves its cluster-mates. Every futilityWindow molecules of
+		// emergency growth the controller checks whether the miss rate
+		// actually moved; if not, further emergency growth freezes for
+		// freezePasses.
+		if s.frozen > 0 {
+			s.frozen--
+			return miss
+		}
+		if s.growSinceMark >= futilityWindow {
+			// A window's worth of growth is in place; hold until the
+			// audit horizon passes (the miss rate cannot respond
+			// faster than the working set's reuse distance), then
+			// judge it.
+			if c.cache.Addresses()-s.markAt < auditMinAddresses {
+				return miss
+			}
+			if miss > 0.98*s.missAtMark {
+				// The capacity bought nothing: give it back to the
+				// cluster and freeze further emergency growth.
+				n, _ := c.cache.Shrink(r, s.growSinceMark)
+				s.frozen = freezePasses
+				ev.Action = ActionShrink
+				ev.Delta = -n
+			}
+			s.growSinceMark = 0
+			return miss
+		}
+		if s.lastAlloc > 0 && s.maxAlloc > s.lastAlloc {
+			s.maxAlloc = s.lastAlloc
+		}
+		if s.maxAlloc < 1 {
+			s.maxAlloc = 1
+		}
+		got, err := c.cache.Grow(r, s.maxAlloc)
+		if err != nil {
+			panic(err)
+		}
+		if got > 0 {
+			s.lastAlloc = got
+		}
+		if got == 0 && s.rebalanceCool <= 0 && c.cache.Rebalance(r) {
+			ev.Action = ActionRebalance
+			s.rebalanceCool = rebalanceCooldown
+			break
+		}
+		if s.growSinceMark == 0 {
+			s.missAtMark = miss
+			s.markAt = c.cache.Addresses()
+		}
+		s.growSinceMark += got
+		ev.Action = ActionGrowChunk
+		ev.Delta = got
+	case miss < goal &&
+		c.cache.FreeInCluster(r) <= 2*c.cfg.MaxAllocation:
+		// Conservative shrink: withdraw sqrt(cur*miss/goal) molecules.
+		// The count is self-limiting — as the partition tightens, the
+		// miss rate rises toward the goal and withdrawals stop —
+		// implementing "withdraw molecules more slowly than you add".
+		// A partition is only taxed while the cluster's free pool is
+		// under pressure: withdrawing capacity nobody is asking for
+		// just costs refetches. The shrink-regret floor (below)
+		// prevents the under-goal nibbling from oscillating across the
+		// partition's miss-vs-size cliff.
+		count := int(math.Sqrt(float64(cur) * miss / goal))
+		if count > cur-1 {
+			count = cur - 1
+		}
+		if s.floor > 0 && cur-count < s.floor {
+			count = cur - s.floor
+		}
+		if count > 0 {
+			s.preShrink = cur
+			n, _ := c.cache.Shrink(r, count)
+			ev.Action = ActionShrink
+			ev.Delta = -n
+		}
+	case miss > goal:
+		// Linear-model growth toward the goal, one bounded chunk.
+		// (The pseudo-code gates this on an improving miss rate; that
+		// gate starves a partition whose miss rate plateaus above the
+		// goal, so growth fires whenever the goal is missed.)
+		target := int(math.Ceil(float64(cur) * miss / goal))
+		delta := target - cur
+		if delta > c.cfg.MaxAllocation {
+			delta = c.cfg.MaxAllocation
+		}
+		if delta > 0 {
+			got, err := c.cache.Grow(r, delta)
+			if err != nil {
+				panic(err)
+			}
+			if got > 0 {
+				s.lastAlloc = got
+			}
+			if got == 0 && s.rebalanceCool <= 0 && c.cache.Rebalance(r) {
+				// Pool exhausted: adapt the replacement view's row
+				// widths with the molecules already owned.
+				ev.Action = ActionRebalance
+				s.rebalanceCool = rebalanceCooldown
+				break
+			}
+			ev.Action = ActionGrowLinear
+			ev.Delta = got
+		}
+	}
+	return miss
+}
+
+func clamp(v, lo, hi uint64) uint64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// floorDecayPeriods is how many resize passes a shrink-regret floor holds
+// before decaying by one molecule (allowing slow re-probing of the cliff),
+// and regretFactor is how far past the goal the post-shrink window must
+// land before the floor pins (plain noise around the goal must not pin).
+const floorDecayPeriods = 10
+
+// rebalanceCooldown is the number of resize passes between row
+// rebalances of one partition (each rebalance flushes a molecule).
+const rebalanceCooldown = 8
+
+// futilityWindow is how many emergency-growth molecules are granted
+// between payoff audits; freezePasses is how long emergency growth
+// freezes when an audit finds the extra capacity bought nothing.
+const (
+	futilityWindow = 32
+	freezePasses   = 50
+	// auditMinAddresses is the horizon one audit spans: miss rates
+	// cannot respond faster than the workload's reuse distance, so the
+	// grown partition runs at least this many cache-wide addresses
+	// before being judged.
+	auditMinAddresses = 50000
+)

@@ -1,0 +1,163 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 7, 16, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// Intn over a small modulus should be close to uniform; this is the
+// property the Random replacement policy depends on.
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("bucket %d: count %d deviates more than 5%% from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(11)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must be the most frequent, and frequencies must broadly decay.
+	if counts[0] <= counts[10] || counts[10] <= counts[90] {
+		t.Errorf("Zipf counts not decreasing: c0=%d c10=%d c90=%d",
+			counts[0], counts[10], counts[90])
+	}
+	// With theta=1, p(0)/p(1) = 2; check ratio within 15%.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("Zipf rank0/rank1 ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(New(1), 10, 0.8)
+	for i := 0; i < 5000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 10 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+	}
+}
+
+func TestLnExpAccuracy(t *testing.T) {
+	cases := []float64{0.1, 0.5, 1, 2, 2.718281828, 10, 12345}
+	for _, x := range cases {
+		if got, want := ln(x), math.Log(x); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("ln(%v) = %v, want %v", x, got, want)
+		}
+	}
+	for _, x := range []float64{-5, -1, -0.1, 0, 0.1, 1, 5, 20} {
+		if got, want := exp(x), math.Exp(x); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("exp(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPowMatchesMath(t *testing.T) {
+	f := func(xi, yi uint8) bool {
+		x := 0.5 + float64(xi)/16 // [0.5, 16.4]
+		y := 0.1 + float64(yi)/64 // [0.1, 4.1]
+		got := pow(x, y)
+		want := math.Pow(x, y)
+		return math.Abs(got-want) <= 1e-8*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the public-domain splitmix64.c.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("splitmix64 step %d = %#x, want %#x", i, got, w)
+		}
+	}
+}

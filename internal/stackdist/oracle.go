@@ -1,0 +1,125 @@
+package stackdist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocation is an oracle static partition: lines assigned per ASID.
+type Allocation struct {
+	// Lines maps ASIDs to their allocated cache lines.
+	Lines map[uint16]int
+	// PredictedMiss maps ASIDs to the LRU miss rate the curve predicts
+	// at that allocation.
+	PredictedMiss map[uint16]float64
+	// PredictedDeviation is the mean excess over the goal that this
+	// allocation achieves under the curves.
+	PredictedDeviation float64
+}
+
+// OraclePartition computes a static partition of totalLines across the
+// profiled applications that greedily minimizes the average deviation
+// from per-ASID miss-rate goals (Suh's marginal-gain allocation with
+// perfect miss-ratio-curve information). Applications without a goal
+// receive a minimal allocation (they are unmanaged).
+//
+// chunk is the allocation granularity in lines (e.g. one molecule's
+// worth, 128); it must be positive.
+func OraclePartition(curves map[uint16]*Curve, goals map[uint16]float64,
+	totalLines, chunk int) (*Allocation, error) {
+	if chunk <= 0 {
+		return nil, fmt.Errorf("stackdist: chunk must be positive, got %d", chunk)
+	}
+	if len(curves) == 0 {
+		return nil, fmt.Errorf("stackdist: no curves to partition")
+	}
+	asids := make([]uint16, 0, len(curves))
+	for a := range curves {
+		asids = append(asids, a)
+	}
+	sort.Slice(asids, func(i, j int) bool { return asids[i] < asids[j] })
+
+	alloc := map[uint16]int{}
+	remaining := totalLines
+	// Everyone starts with one chunk (a partition is never empty).
+	for _, a := range asids {
+		if remaining < chunk {
+			return nil, fmt.Errorf("stackdist: %d lines cannot seed %d applications (chunk %d)",
+				totalLines, len(curves), chunk)
+		}
+		alloc[a] = chunk
+		remaining -= chunk
+	}
+	// excess returns the goal violation for an ASID at `lines`.
+	excess := func(a uint16, lines int) float64 {
+		goal, managed := goals[a]
+		if !managed {
+			return 0
+		}
+		m := curves[a].MissRateAt(lines)
+		if m > goal {
+			return m - goal
+		}
+		return 0
+	}
+	// Greedy by gain-per-line. Cyclic working sets make miss-ratio
+	// curves non-convex (one more chunk buys nothing until the whole
+	// loop fits), so each application offers two candidate moves: one
+	// chunk, and a jump straight to its goal-satisfying allocation.
+	// The move with the best deviation improvement per line wins;
+	// when no move improves anything, the oracle stops spending.
+	roundUp := func(n int) int { return (n + chunk - 1) / chunk * chunk }
+	for remaining >= chunk {
+		bestASID := uint16(0)
+		bestAdd := 0
+		bestRate := 0.0
+		for _, a := range asids {
+			cur := alloc[a]
+			e0 := excess(a, cur)
+			if e0 == 0 {
+				continue
+			}
+			// Candidate 1: one chunk.
+			if g := e0 - excess(a, cur+chunk); g > 0 {
+				if rate := g / float64(chunk); rate > bestRate {
+					bestASID, bestAdd, bestRate = a, chunk, rate
+				}
+			}
+			// Candidate 2: jump to the goal.
+			if goal, ok := goals[a]; ok {
+				if lines, feasible := curves[a].LinesForMissRate(goal); feasible && lines > cur {
+					add := roundUp(lines - cur)
+					if add <= remaining {
+						g := e0 - excess(a, cur+add)
+						if rate := g / float64(add); rate > bestRate {
+							bestASID, bestAdd, bestRate = a, add, rate
+						}
+					}
+				}
+			}
+		}
+		if bestAdd == 0 {
+			break
+		}
+		alloc[bestASID] += bestAdd
+		remaining -= bestAdd
+	}
+
+	out := &Allocation{
+		Lines:         alloc,
+		PredictedMiss: map[uint16]float64{},
+	}
+	sum := 0.0
+	managed := 0
+	for _, a := range asids {
+		out.PredictedMiss[a] = curves[a].MissRateAt(alloc[a])
+		if _, ok := goals[a]; ok {
+			sum += excess(a, alloc[a])
+			managed++
+		}
+	}
+	if managed > 0 {
+		out.PredictedDeviation = sum / float64(managed)
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+// Package stackdist computes LRU stack-distance profiles (Mattson et
+// al.'s classic one-pass algorithm, with Olken's Fenwick-tree
+// optimization) and the per-application miss-ratio curves they induce.
+//
+// A miss-ratio curve says, for every possible cache allocation, what an
+// application's miss rate under full-LRU would be — the information an
+// *oracle* partitioner needs. The package uses it two ways:
+//
+//   - to validate the synthetic workload models (their curves must show
+//     the working-set knees the benchmarks were designed around), and
+//   - to compute oracle static partitions, the strongest static baseline
+//     the dynamic molecular controller can be compared against
+//     (Suh et al.'s marginal-gain allocator with perfect information).
+package stackdist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profiler accumulates per-ASID stack-distance histograms over a
+// line-granular reference stream.
+type Profiler struct {
+	lineSize uint64
+	apps     map[uint16]*appProfile
+}
+
+// appProfile is one application's accumulation state.
+type appProfile struct {
+	// t is the application-local logical time (distinct accesses).
+	t int
+	// lastTime maps a line to its last access time.
+	lastTime map[uint64]int
+	// bit is a Fenwick tree over times; bit[p] == 1 while the line last
+	// accessed at p has not been touched again.
+	bit *fenwick
+	// hist[d] counts accesses with stack distance d (capped); cold
+	// counts first touches.
+	hist map[int]uint64
+	cold uint64
+	refs uint64
+}
+
+// New returns a profiler for the given line size (power of two assumed
+// by the caller; typically 64).
+func New(lineSize uint64) *Profiler {
+	return &Profiler{
+		lineSize: lineSize,
+		apps:     make(map[uint16]*appProfile),
+	}
+}
+
+// Record registers one reference.
+func (p *Profiler) Record(asid uint16, addr uint64) {
+	ap := p.apps[asid]
+	if ap == nil {
+		ap = &appProfile{
+			lastTime: make(map[uint64]int),
+			bit:      newFenwick(1024),
+			hist:     make(map[int]uint64),
+		}
+		p.apps[asid] = ap
+	}
+	line := addr / p.lineSize
+	ap.refs++
+	if prev, seen := ap.lastTime[line]; seen {
+		// Distance = number of distinct lines touched since prev.
+		d := ap.bit.sumRange(prev+1, ap.t)
+		ap.hist[d]++
+		ap.bit.add(prev, -1)
+	} else {
+		ap.cold++
+	}
+	ap.t++
+	ap.bit.ensure(ap.t + 1)
+	ap.bit.add(ap.t-1, 1)
+	ap.lastTime[line] = ap.t - 1
+}
+
+// ASIDs lists profiled applications in order.
+func (p *Profiler) ASIDs() []uint16 {
+	out := make([]uint16, 0, len(p.apps))
+	for a := range p.apps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Curve builds the application's miss-ratio curve. Returns an error for
+// an unprofiled ASID.
+func (p *Profiler) Curve(asid uint16) (*Curve, error) {
+	ap := p.apps[asid]
+	if ap == nil {
+		return nil, fmt.Errorf("stackdist: no profile for ASID %d", asid)
+	}
+	ds := make([]int, 0, len(ap.hist))
+	for d := range ap.hist {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	c := &Curve{
+		Refs:      ap.refs,
+		Cold:      ap.cold,
+		Footprint: len(ap.lastTime),
+	}
+	// cum[i] = accesses with distance <= ds[i] (these hit in a cache of
+	// ds[i]+1 lines or more).
+	var cum uint64
+	for _, d := range ds {
+		cum += ap.hist[d]
+		c.points = append(c.points, curvePoint{dist: d, cumHits: cum})
+	}
+	return c, nil
+}
+
+// Curve is a miss-ratio curve: miss rate under full-LRU as a function of
+// allocated lines.
+type Curve struct {
+	// Refs is the total profiled references.
+	Refs uint64
+	// Cold is the number of first touches (compulsory misses).
+	Cold uint64
+	// Footprint is the number of distinct lines touched.
+	Footprint int
+	points    []curvePoint
+}
+
+type curvePoint struct {
+	dist    int
+	cumHits uint64
+}
+
+// MissRateAt returns the LRU miss rate with an allocation of `lines`
+// cache lines.
+func (c *Curve) MissRateAt(lines int) float64 {
+	if c.Refs == 0 {
+		return 0
+	}
+	// Hits = accesses with stack distance < lines.
+	i := sort.Search(len(c.points), func(i int) bool {
+		return c.points[i].dist >= lines
+	})
+	var hits uint64
+	if i > 0 {
+		hits = c.points[i-1].cumHits
+	}
+	return 1 - float64(hits)/float64(c.Refs)
+}
+
+// LinesForMissRate returns the smallest allocation achieving the target
+// miss rate, or (footprint, false) if no allocation can.
+func (c *Curve) LinesForMissRate(target float64) (int, bool) {
+	lo, hi := 0, c.Footprint+1
+	if c.MissRateAt(hi) > target {
+		return c.Footprint, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.MissRateAt(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// fenwick is a grow-on-demand Fenwick (binary indexed) tree over ints.
+// Point values are kept alongside the tree so growth is a simple rebuild
+// (amortized O(log n) per operation across doublings).
+type fenwick struct {
+	tree []int
+	vals []int
+}
+
+func newFenwick(n int) *fenwick {
+	n = nextPow2(n + 1)
+	return &fenwick{tree: make([]int, n+1), vals: make([]int, n)}
+}
+
+// ensure grows the tree to cover index n-1.
+func (f *fenwick) ensure(n int) {
+	if n < len(f.vals) {
+		return
+	}
+	size := nextPow2(n + 1)
+	oldVals := f.vals
+	f.vals = make([]int, size)
+	copy(f.vals, oldVals)
+	f.tree = make([]int, size+1)
+	for i, v := range oldVals {
+		if v != 0 {
+			f.addTree(i, v)
+		}
+	}
+}
+
+// add adds delta at index i (0-based).
+func (f *fenwick) add(i, delta int) {
+	f.vals[i] += delta
+	f.addTree(i, delta)
+}
+
+func (f *fenwick) addTree(i, delta int) {
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += delta
+	}
+}
+
+// sum returns the prefix sum over [0, i] (0-based, inclusive).
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for j := i + 1; j > 0; j -= j & -j {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// sumRange returns the sum over [lo, hi] (0-based, inclusive); empty
+// ranges yield 0.
+func (f *fenwick) sumRange(lo, hi int) int {
+	if hi < lo {
+		return 0
+	}
+	if hi >= len(f.tree)-1 {
+		hi = len(f.tree) - 2
+	}
+	s := f.sum(hi)
+	if lo > 0 {
+		s -= f.sum(lo - 1)
+	}
+	return s
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,224 @@
+// Package stats provides the counters and aggregations every cache model
+// in the repository reports through: hit/miss ledgers (global and
+// per-ASID), sliding miss-rate windows for the resize controller, simple
+// histograms, and summary statistics for the experiment tables.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HitMiss is a basic hit/miss counter pair.
+type HitMiss struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns the total number of recorded accesses.
+func (h HitMiss) Accesses() uint64 { return h.Hits + h.Misses }
+
+// MissRate returns misses/accesses, or 0 when nothing was recorded.
+func (h HitMiss) MissRate() float64 {
+	n := h.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Misses) / float64(n)
+}
+
+// HitRate returns hits/accesses, or 0 when nothing was recorded.
+func (h HitMiss) HitRate() float64 {
+	n := h.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Hits) / float64(n)
+}
+
+// Add accumulates other into h.
+func (h *HitMiss) Add(other HitMiss) {
+	h.Hits += other.Hits
+	h.Misses += other.Misses
+}
+
+// Record adds one access with the given outcome.
+func (h *HitMiss) Record(hit bool) {
+	if hit {
+		h.Hits++
+	} else {
+		h.Misses++
+	}
+}
+
+func (h HitMiss) String() string {
+	return fmt.Sprintf("hits=%d misses=%d missRate=%.4f", h.Hits, h.Misses, h.MissRate())
+}
+
+// Ledger tracks hit/miss counts globally and per ASID. The zero value is
+// ready to use.
+type Ledger struct {
+	Total  HitMiss
+	perApp map[uint16]*HitMiss
+}
+
+// Record adds one access for the given ASID.
+func (l *Ledger) Record(asid uint16, hit bool) {
+	l.Total.Record(hit)
+	if l.perApp == nil {
+		l.perApp = make(map[uint16]*HitMiss)
+	}
+	hm := l.perApp[asid]
+	if hm == nil {
+		hm = &HitMiss{}
+		l.perApp[asid] = hm
+	}
+	hm.Record(hit)
+}
+
+// App returns the counters for one ASID (zero value if never seen).
+func (l *Ledger) App(asid uint16) HitMiss {
+	if hm := l.perApp[asid]; hm != nil {
+		return *hm
+	}
+	return HitMiss{}
+}
+
+// ASIDs returns the sorted list of ASIDs with recorded accesses.
+func (l *Ledger) ASIDs() []uint16 {
+	ids := make([]uint16, 0, len(l.perApp))
+	for id := range l.perApp {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Reset clears all counters.
+func (l *Ledger) Reset() {
+	l.Total = HitMiss{}
+	l.perApp = nil
+}
+
+// Window is a resettable hit/miss counter used for periodic miss-rate
+// sampling (the resize controller reads and resets one per partition and
+// one global window every resize period).
+type Window struct {
+	cur HitMiss
+}
+
+// Record adds one access to the current window.
+func (w *Window) Record(hit bool) { w.cur.Record(hit) }
+
+// Snapshot returns the counters accumulated since the last Roll.
+func (w *Window) Snapshot() HitMiss { return w.cur }
+
+// Roll returns the accumulated counters and starts a fresh window.
+func (w *Window) Roll() HitMiss {
+	out := w.cur
+	w.cur = HitMiss{}
+	return out
+}
+
+// Histogram is a fixed-bucket counter for small non-negative integers
+// (e.g. probes per access). Values beyond the last bucket land in it.
+type Histogram struct {
+	Buckets []uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// NewHistogram returns a histogram with n buckets for values 0..n-1;
+// values >= n-1 are clamped into the final bucket.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{Buckets: make([]uint64, n)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := v
+	if i >= uint64(len(h.Buckets)) {
+		i = uint64(len(h.Buckets) - 1)
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average observed value.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Summary holds descriptive statistics of a float64 sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Min, Max float64
+	StdDev   float64
+	P50, P90 float64
+}
+
+// Summarize computes descriptive statistics; it returns the zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = sqrt(varSum / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	return s
+}
+
+// quantile returns the q-quantile of a sorted sample using nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// sqrt computes the square root via Newton iterations; good to ~1e-12
+// relative for the magnitudes used here.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Sqrt exposes the local square root for packages that need one without
+// importing math (kept consistent with Summarize's internals).
+func Sqrt(x float64) float64 { return sqrt(x) }

@@ -1,0 +1,211 @@
+// Package tabletext renders the experiment results as aligned ASCII
+// tables and simple charts, so cmd/experiments can print the paper's
+// tables and figures directly to a terminal.
+package tabletext
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with %v (floats with %.4f).
+func (t *Table) AddRowf(cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.4f", v)
+		case float32:
+			out[i] = fmt.Sprintf("%.4f", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarChart renders named values as horizontal bars. With logScale, bar
+// length is proportional to log10(value/min) — the rendering Figure 6
+// needs for its seven-decade HPM axis.
+type BarChart struct {
+	title    string
+	logScale bool
+	names    []string
+	values   []float64
+	width    int
+}
+
+// NewBarChart returns a chart; width is the maximum bar length in
+// characters (default 50 when <= 0).
+func NewBarChart(title string, logScale bool, width int) *BarChart {
+	if width <= 0 {
+		width = 50
+	}
+	return &BarChart{title: title, logScale: logScale, width: width}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(name string, value float64) {
+	c.names = append(c.names, name)
+	c.values = append(c.values, value)
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	if c.title != "" {
+		b.WriteString(c.title)
+		b.WriteByte('\n')
+	}
+	if len(c.values) == 0 {
+		return b.String()
+	}
+	nameW := 0
+	for _, n := range c.names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range c.values {
+		if v > 0 && v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	for i, v := range c.values {
+		frac := 0.0
+		switch {
+		case v <= 0 || max <= 0:
+			frac = 0
+		case !c.logScale:
+			frac = v / max
+		case max == min:
+			frac = 1
+		default:
+			frac = (math.Log10(v) - math.Log10(min)) /
+				(math.Log10(max) - math.Log10(min))
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		n := int(frac*float64(c.width-1)) + 1
+		if v <= 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s  %s %.3g\n", nameW, c.names[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Series renders an x-indexed multi-series table (Figure 5's shape: one
+// row per cache size, one column per configuration).
+type Series struct {
+	title  string
+	xLabel string
+	xs     []string
+	names  []string
+	data   map[string][]float64 // series name -> values aligned with xs
+}
+
+// NewSeries returns a series set over the given x labels.
+func NewSeries(title, xLabel string, xs ...string) *Series {
+	return &Series{title: title, xLabel: xLabel, xs: xs, data: map[string][]float64{}}
+}
+
+// Set stores the value for (series, x index).
+func (s *Series) Set(series string, xIdx int, v float64) {
+	if _, ok := s.data[series]; !ok {
+		s.names = append(s.names, series)
+		s.data[series] = make([]float64, len(s.xs))
+		for i := range s.data[series] {
+			s.data[series][i] = math.NaN()
+		}
+	}
+	s.data[series][xIdx] = v
+}
+
+// String renders the series as a table, one row per x value.
+func (s *Series) String() string {
+	t := New(s.title, append([]string{s.xLabel}, s.names...)...)
+	for i, x := range s.xs {
+		cells := []string{x}
+		for _, n := range s.names {
+			v := s.data[n][i]
+			if math.IsNaN(v) {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,116 @@
+package tabletext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// Header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	// Column 2 must start at the same offset in both data rows.
+	off3 := strings.Index(lines[3], "1")
+	off4 := strings.Index(lines[4], "22")
+	if off3 != off4 {
+		t.Errorf("value column misaligned: %d vs %d\n%s", off3, off4, out)
+	}
+}
+
+func TestTableRowf(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRowf("x", 0.123456, 42)
+	out := tb.String()
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf("int missing: %s", out)
+	}
+}
+
+func TestTableMissingCells(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only-a")
+	tb.AddRow("x", "y", "dropped")
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestBarChartLinear(t *testing.T) {
+	c := NewBarChart("t", false, 10)
+	c.Add("a", 10)
+	c.Add("b", 5)
+	out := c.String()
+	la := strings.Count(strings.Split(out, "\n")[1], "#")
+	lb := strings.Count(strings.Split(out, "\n")[2], "#")
+	if la != 10 || lb != 5 {
+		t.Errorf("bar lengths = %d, %d; want 10, 5\n%s", la, lb, out)
+	}
+}
+
+func TestBarChartLog(t *testing.T) {
+	c := NewBarChart("t", true, 40)
+	c.Add("big", 1)
+	c.Add("mid", 0.001)
+	c.Add("tiny", 0.000001)
+	out := strings.Split(c.String(), "\n")
+	big := strings.Count(out[1], "#")
+	mid := strings.Count(out[2], "#")
+	tiny := strings.Count(out[3], "#")
+	if !(big > mid && mid > tiny && tiny >= 1) {
+		t.Errorf("log bars not ordered: %d, %d, %d", big, mid, tiny)
+	}
+	// Log scale: mid should be about halfway between tiny and big.
+	if mid < tiny+10 {
+		t.Errorf("log scaling looks linear: %d, %d, %d", big, mid, tiny)
+	}
+}
+
+func TestBarChartZeroValue(t *testing.T) {
+	c := NewBarChart("", true, 10)
+	c.Add("zero", 0)
+	c.Add("one", 1)
+	out := strings.Split(c.String(), "\n")
+	if strings.Count(out[0], "#") != 0 {
+		t.Errorf("zero value drew a bar: %q", out[0])
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	if out := NewBarChart("empty", false, 5).String(); out != "empty\n" {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Fig", "size", "1MB", "2MB")
+	s.Set("DM", 0, 0.5)
+	s.Set("DM", 1, 0.4)
+	s.Set("Molecular", 1, 0.1)
+	out := s.String()
+	if !strings.Contains(out, "size") || !strings.Contains(out, "DM") {
+		t.Errorf("missing headers: %s", out)
+	}
+	if !strings.Contains(out, "0.4000") || !strings.Contains(out, "0.1000") {
+		t.Errorf("missing values: %s", out)
+	}
+	// Missing cell renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing cell not dashed: %s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"molcache/internal/rng"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	refs := sampleRefs()
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	for _, r := range refs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(refs)) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	r, err := NewCompressedReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, refs) {
+		t.Errorf("round trip mismatch:\ngot  %v\nwant %v", got, refs)
+	}
+}
+
+func TestCompressedEmptyAndBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewCompressedReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read on empty = %v, want EOF", err)
+	}
+	if _, err := NewCompressedReader(strings.NewReader("MTR1....")); err != ErrBadMagic {
+		t.Errorf("wrong magic accepted: %v", err)
+	}
+}
+
+func TestCompressedTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	if err := w.Write(Ref{Addr: 1 << 40, ASID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	r, err := NewCompressedReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("truncated record read = %v, want error", err)
+	}
+}
+
+// A local trace (sequential lines, one app) must compress well below the
+// fixed 12-byte record size.
+func TestCompressionRatioOnLocalTrace(t *testing.T) {
+	var refs []Ref
+	for i := 0; i < 10000; i++ {
+		refs = append(refs, Ref{Addr: uint64(i) * 64, ASID: 3, CPU: 1})
+	}
+	var fixed, compact bytes.Buffer
+	fw := NewWriter(&fixed)
+	cw := NewCompressedWriter(&compact)
+	for _, r := range refs {
+		if err := fw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if compact.Len()*3 > fixed.Len() {
+		t.Errorf("compact %dB vs fixed %dB: want >= 3x compression on a local trace",
+			compact.Len(), fixed.Len())
+	}
+}
+
+// Property: arbitrary interleaved multi-app traces round-trip exactly.
+func TestCompressedRoundTripProperty(t *testing.T) {
+	src := rng.New(17)
+	f := func(n uint8) bool {
+		refs := make([]Ref, int(n)+1)
+		for i := range refs {
+			refs[i] = Ref{
+				Addr: src.Uint64(),
+				ASID: uint16(src.Intn(5)),
+				CPU:  uint8(src.Intn(4)),
+				Kind: Kind(src.Intn(2)),
+			}
+		}
+		var buf bytes.Buffer
+		w := NewCompressedWriter(&buf)
+		for _, r := range refs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd, err := NewCompressedReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := rd.ReadAll()
+		return err == nil && reflect.DeepEqual(got, refs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

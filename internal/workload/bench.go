@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"molcache/internal/addr"
+	"molcache/internal/rng"
+)
+
+// Benchmarks in this file model the paper's workloads. Each model is a
+// composition of the pattern primitives with parameters chosen for the
+// benchmark's published memory behaviour:
+//
+//   - SPEC CPU2000: art (cache-sensitive blocked loop that just fits a
+//     1 MB L2 alone), mcf (huge pointer-chasing working set), ammp (small
+//     hot working set), parser (dictionary with Zipf popularity), crafty
+//     (small hash tables), gcc (mixed medium), gzip (streaming input +
+//     sliding window), twolf (flat medium working set), gap (medium loop).
+//   - NetBench: CRC (pure packet streaming), DRR (round-robin queue
+//     buffers), NAT (large flow-table lookups + packet stream).
+//   - MediaBench: CJPEG (blocked image sweep), decode (bitstream +
+//     reference frame), epic (strided image-pyramid walk).
+//
+// Every model is deterministic given (base, seed).
+
+// SPECNames are the four benchmarks of the paper's Table 1 / Figure 5
+// study, in the paper's order.
+var SPECNames = []string{"art", "ammp", "mcf", "parser"}
+
+// MixedNames are the twelve benchmarks of the paper's mixed
+// SPEC+NetBench+MediaBench study (Table 2 / Figure 6), in the paper's
+// Figure 6 x-axis order.
+var MixedNames = []string{
+	"crafty", "CRC", "DRR", "epic", "decode", "gap",
+	"gcc", "gzip", "CJPEG", "NAT", "parser", "twolf",
+}
+
+// builder constructs a benchmark generator rooted at base with the given
+// deterministic seed.
+type builder func(base, seed uint64) Generator
+
+var registry = map[string]builder{
+	"art":    buildArt,
+	"mcf":    buildMcf,
+	"ammp":   buildAmmp,
+	"parser": buildParser,
+	"crafty": buildCrafty,
+	"gcc":    buildGcc,
+	"gzip":   buildGzip,
+	"twolf":  buildTwolf,
+	"gap":    buildGap,
+	"CRC":    buildCRC,
+	"DRR":    buildDRR,
+	"NAT":    buildNAT,
+	"CJPEG":  buildCJPEG,
+	"decode": buildDecode,
+	"epic":   buildEpic,
+}
+
+// Names returns every registered benchmark name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named benchmark model rooted at base. The base should be
+// unique per running application instance (the harness uses
+// asid << 36) so that address spaces never collide.
+func New(name string, base, seed uint64) (Generator, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b(base, seed), nil
+}
+
+// MustNew is New for static benchmark names; it panics on unknown names.
+func MustNew(name string, base, seed uint64) Generator {
+	g, err := New(name, base, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+const (
+	kb = addr.KB
+	mb = addr.MB
+)
+
+// stagger returns a deterministic sub-megabyte offset so that a
+// component's region does not start exactly at cache set 0. Real
+// program segments are not megabyte-aligned; without this, every
+// component of every application would collide in the same low sets of
+// any set-indexed cache, grossly exaggerating conflict misses.
+func stagger(src *rng.Source) uint64 {
+	return uint64(src.Intn(12288)) * 64 // 0 .. 768KB, line aligned
+}
+
+// art: a blocked numeric loop whose working set (~896 KB) just fits a
+// 1 MB L2 when run alone but thrashes as soon as it has to share,
+// reproducing Table 1's 0.064 -> 0.73 collapse. A thin uniform-random
+// tail over a large region supplies the standalone misses.
+func buildArt(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xa27)
+	loop := NewLoop("art.loop", base+stagger(src), 640*kb, 0.30, src)
+	scan := NewStream("art.scan", base+1*mb+stagger(src), 4*mb, 0.10, src)
+	return NewMix("art", src, []Generator{loop, scan}, []float64{0.98, 0.02})
+}
+
+// mcf: pointer chasing over a 12 MB arc network — reuse distance far
+// beyond any evaluated cache — plus a moderately hot node subset.
+func buildMcf(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0x3cf)
+	chase := NewPointerChase("mcf.chase", base+stagger(src), 2560*kb, 64, 0.15, src)
+	hot := NewZipf("mcf.hot", base+16*mb+stagger(src), 1536*kb, 64, 1.1, 1, 0.15, src)
+	return NewMix("mcf", src, []Generator{chase, hot}, []float64{0.32, 0.68})
+}
+
+// ammp: molecular dynamics with a small resident set; almost everything
+// that escapes the L1 hits the L2 at every evaluated size.
+func buildAmmp(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xa99)
+	loop := NewLoop("ammp.loop", base+stagger(src), 48*kb, 0.35, src)
+	hot := NewZipf("ammp.hot", base+1*mb+stagger(src), 256*kb, 64, 1.2, 1, 0.25, src)
+	return NewMix("ammp", src, []Generator{loop, hot}, []float64{0.55, 0.45})
+}
+
+// parser: dictionary lookups with Zipf popularity over ~1.5 MB plus a
+// small parse-state loop; sensitive to its share of a shared cache.
+func buildParser(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0x9a5)
+	dict := NewZipf("parser.dict", base+stagger(src), 1024*kb, 64, 1.0, 16, 0.10, src)
+	state := NewLoop("parser.state", base+4*mb+stagger(src), 96*kb, 0.30, src)
+	input := NewStream("parser.input", base+8*mb+stagger(src), 8*mb, 0.0, src)
+	return NewMix("parser", src, []Generator{dict, state, input},
+		[]float64{0.58, 0.38, 0.04})
+}
+
+// crafty: chess hash/attack tables, small and hot.
+func buildCrafty(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xc4a)
+	tables := NewZipf("crafty.tables", base+stagger(src), 96*kb, 64, 1.1, 8, 0.20, src)
+	board := NewLoop("crafty.board", base+1*mb+stagger(src), 32*kb, 0.40, src)
+	return NewMix("crafty", src, []Generator{tables, board}, []float64{0.55, 0.45})
+}
+
+// gcc: mixed medium working set (IR traversal, symbol tables, text sweep).
+func buildGcc(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0x6cc)
+	ir := NewZipf("gcc.ir", base+stagger(src), 192*kb, 64, 0.8, 8, 0.25, src)
+	sweep := NewStream("gcc.sweep", base+4*mb+stagger(src), 4*mb, 0.10, src)
+	hot := NewLoop("gcc.hot", base+16*mb+stagger(src), 64*kb, 0.30, src)
+	return NewMix("gcc", src, []Generator{ir, sweep, hot}, []float64{0.55, 0.15, 0.30})
+}
+
+// gzip: streaming input with a 256 KB sliding-window dictionary.
+func buildGzip(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0x621)
+	input := NewStream("gzip.input", base+stagger(src), 16*mb, 0.05, src)
+	window := NewZipf("gzip.window", base+32*mb+stagger(src), 128*kb, 64, 0.7, 4, 0.45, src)
+	return NewMix("gzip", src, []Generator{input, window}, []float64{0.30, 0.70})
+}
+
+// twolf: place-and-route with a flat (low-skew) medium working set and
+// some pointer chasing through netlists.
+func buildTwolf(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0x201f)
+	cells := NewZipf("twolf.cells", base+stagger(src), 160*kb, 64, 0.55, 4, 0.30, src)
+	nets := NewPointerChase("twolf.nets", base+2*mb+stagger(src), 128*kb, 64, 0.15, src)
+	return NewMix("twolf", src, []Generator{cells, nets}, []float64{0.70, 0.30})
+}
+
+// gap: group-theory interpreter, medium loop plus bag-of-objects heap.
+func buildGap(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0x6a9)
+	work := NewLoop("gap.work", base+stagger(src), 160*kb, 0.30, src)
+	heap := NewZipf("gap.heap", base+2*mb+stagger(src), 256*kb, 64, 0.9, 8, 0.25, src)
+	return NewMix("gap", src, []Generator{work, heap}, []float64{0.55, 0.45})
+}
+
+// CRC: checksum over packet payloads — pure streaming, no reuse; no
+// cache of any size can satisfy a miss-rate goal for it.
+func buildCRC(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xc2c)
+	return NewStream("CRC", base+stagger(src), 64*mb, 0.02, src)
+}
+
+// DRR: deficit round robin — the scheduler cycles through per-flow queue
+// buffers, each walked sequentially.
+func buildDRR(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xd22)
+	const queues = 8
+	phases := make([]Phase, queues)
+	for q := 0; q < queues; q++ {
+		qbase := base + uint64(q)*(1*mb) + stagger(src)
+		phases[q] = Phase{
+			Gen: NewStream(fmt.Sprintf("DRR.q%d", q), qbase, 32*kb, 0.50, src),
+			Len: 4000,
+		}
+	}
+	return NewPhased("DRR", phases)
+}
+
+// NAT: network address translation — Zipf flow-table lookups over a large
+// table plus packet-header streaming.
+func buildNAT(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0x9a7)
+	table := NewZipf("NAT.table", base+stagger(src), 1*mb, 64, 1.05, 8, 0.30, src)
+	pkts := NewStream("NAT.pkts", base+16*mb+stagger(src), 16*mb, 0.10, src)
+	return NewMix("NAT", src, []Generator{table, pkts}, []float64{0.75, 0.25})
+}
+
+// CJPEG: JPEG compression — 8x8 blocked sweep over the image (strided
+// row access within macroblocks) plus hot quantization tables.
+func buildCJPEG(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xc19)
+	image := NewStride("CJPEG.image", base+stagger(src), 256*kb, 512, 0.20, src)
+	tables := NewLoop("CJPEG.tables", base+8*mb+stagger(src), 48*kb, 0.10, src)
+	return NewMix("CJPEG", src, []Generator{image, tables}, []float64{0.55, 0.45})
+}
+
+// decode: video decode — sequential bitstream plus reference-frame reuse.
+func buildDecode(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xdec)
+	bits := NewStream("decode.bits", base+stagger(src), 12*mb, 0.02, src)
+	ref := NewLoop("decode.ref", base+16*mb+stagger(src), 256*kb, 0.40, src)
+	return NewMix("decode", src, []Generator{bits, ref}, []float64{0.25, 0.75})
+}
+
+// epic: image-pyramid wavelet coder — large-stride walks that defeat
+// spatial locality at every pyramid level, plus a small filter kernel.
+func buildEpic(base, seed uint64) Generator {
+	src := rng.New(seed ^ 0xe91)
+	pyramid := NewStride("epic.pyramid", base+stagger(src), 512*kb, 2*kb, 0.25, src)
+	kernel := NewLoop("epic.kernel", base+8*mb+stagger(src), 96*kb, 0.30, src)
+	return NewMix("epic", src, []Generator{pyramid, kernel}, []float64{0.45, 0.55})
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"molcache/internal/stackdist"
+)
+
+// curveOf profiles a benchmark's raw reference stream and returns its
+// LRU miss-ratio curve — the ground truth each model was designed
+// against (working-set knees, streaming floors).
+func curveOf(t *testing.T, name string, refs int) *stackdist.Curve {
+	t.Helper()
+	g := MustNew(name, 0, 2006)
+	p := stackdist.New(64)
+	for i := 0; i < refs; i++ {
+		p.Record(1, g.Next().Addr)
+	}
+	c, err := p.Curve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// lines converts bytes to 64B cache lines for curve lookups.
+func lines(bytes int) int { return bytes / 64 }
+
+// Each model's miss-ratio curve must have its knee where the benchmark
+// was designed to have it. These assertions pin the calibration that the
+// whole evaluation depends on, so an accidental regeneration of the
+// models cannot silently drift.
+func TestMissRatioCurveKnees(t *testing.T) {
+	// Note the raw streams are word-granular: sequential components hit
+	// 15 of every 16 words within a line no matter how small the cache,
+	// so even a thrashing benchmark's raw miss rate is bounded by its
+	// line-crossing fraction (~1/16 for pure loops). The before/after
+	// contrast is therefore asserted in that compressed space.
+	cases := []struct {
+		name string
+		refs int
+		// atKnee: allocation where the benchmark must already run well.
+		atKnee int
+		// wantBelow: required miss rate at the knee.
+		wantBelow float64
+		// before: a much smaller allocation that must still miss
+		// noticeably harder.
+		before    int
+		wantAbove float64
+	}{
+		// ammp's hot set is ~112KB of loop+zipf head.
+		{"ammp", 600_000, lines(384 << 10), 0.02, lines(16 << 10), 0.05},
+		// crafty is small and hot.
+		{"crafty", 600_000, lines(192 << 10), 0.03, lines(8 << 10), 0.05},
+		// art's loop is 640KB: below it, every sweep line misses (the
+		// raw ceiling ~1/16).
+		{"art", 2_000_000, lines(900 << 10), 0.05, lines(256 << 10), 0.055},
+		// decode's reference frame is 256KB; the bitstream floor stays.
+		{"decode", 600_000, lines(512 << 10), 0.03, lines(32 << 10), 0.055},
+		// gap: ~420KB combined hot set.
+		{"gap", 600_000, lines(640 << 10), 0.03, lines(32 << 10), 0.055},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			curve := curveOf(t, c.name, c.refs)
+			if got := curve.MissRateAt(c.atKnee); got > c.wantBelow {
+				t.Errorf("miss at %d lines = %.3f, want <= %.3f (knee drifted)",
+					c.atKnee, got, c.wantBelow)
+			}
+			if got := curve.MissRateAt(c.before); got < c.wantAbove {
+				t.Errorf("miss at %d lines = %.3f, want >= %.3f (hot set shrank)",
+					c.before, got, c.wantAbove)
+			}
+		})
+	}
+}
+
+// CRC must be flat: no allocation helps a pure stream.
+func TestCRCFlatCurve(t *testing.T) {
+	curve := curveOf(t, "CRC", 400_000)
+	small := curve.MissRateAt(lines(64 << 10))
+	big := curve.MissRateAt(lines(8 << 20))
+	if big < small-0.01 {
+		t.Errorf("CRC curve not flat: %.4f at 64KB vs %.4f at 8MB", small, big)
+	}
+	// Raw word-stream misses once per 16 words.
+	if small < 0.05 || small > 0.08 {
+		t.Errorf("CRC raw miss floor = %.4f, want ~1/16", small)
+	}
+}
+
+// mcf must remain miss-heavy even at allocations that satisfy every
+// other benchmark.
+func TestMcfStaysHostile(t *testing.T) {
+	curve := curveOf(t, "mcf", 2_000_000)
+	if got := curve.MissRateAt(lines(1 << 20)); got < 0.03 {
+		t.Errorf("mcf miss at 1MB = %.4f, want it still hostile", got)
+	}
+	large := curve.MissRateAt(lines(4 << 20))
+	small := curve.MissRateAt(lines(256 << 10))
+	if large >= small {
+		t.Errorf("mcf curve not decreasing: %.4f at 256KB vs %.4f at 4MB", small, large)
+	}
+}

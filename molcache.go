@@ -1,0 +1,284 @@
+// Package molcache is a library-level reproduction of "Molecular Caches:
+// A caching structure for dynamic creation of application-specific
+// Heterogeneous cache regions" (MICRO 2006).
+//
+// A molecular cache aggregates small direct-mapped caching units
+// (molecules) into tiles and tile clusters, and binds subsets of
+// molecules to applications as exclusive cache regions with an
+// ASID-gated decode path. Regions are resized at run time toward
+// per-application miss-rate goals (the paper's Algorithm 1), use Random
+// or Randy (row-hashed) molecule replacement over a 2-D replacement view
+// with per-row associativity, and may fetch multiple lines per miss
+// (variable line size).
+//
+// The package is a facade over the internal packages:
+//
+//   - NewMolecular / NewTraditional build the cache models;
+//   - NewController attaches the dynamic resizing controller;
+//   - NewSimulator couples a molecular cache with its controller;
+//   - NewSystem builds the CMP substrate (cores + private L1s) that
+//     generates L2 reference streams from the bundled workload models;
+//   - NewWorkload instantiates the calibrated benchmark models;
+//   - EstimatePower / EstimateMolecularPower run the CACTI-style model.
+//
+// The experiments reproducing the paper's tables and figures live in
+// cmd/experiments; runnable examples live in examples/.
+package molcache
+
+import (
+	"molcache/internal/cache"
+	"molcache/internal/cmp"
+	"molcache/internal/engine"
+	"molcache/internal/metrics"
+	"molcache/internal/molecular"
+	"molcache/internal/noc"
+	"molcache/internal/partition"
+	"molcache/internal/power"
+	"molcache/internal/resize"
+	"molcache/internal/stackdist"
+	"molcache/internal/stats"
+	"molcache/internal/trace"
+	"molcache/internal/workload"
+)
+
+// Core model types.
+type (
+	// Ref is one memory reference (address, ASID, CPU, read/write).
+	Ref = trace.Ref
+	// Kind distinguishes reads from writes.
+	Kind = trace.Kind
+	// AccessResult reports the externally visible effects of one cache
+	// access (hit, fetches, writebacks, molecules probed).
+	AccessResult = engine.Result
+	// Cache is the interface every cache model implements.
+	Cache = engine.Cache
+
+	// MolecularConfig configures a molecular cache.
+	MolecularConfig = molecular.Config
+	// MolecularCache is the paper's contribution: tiles of molecules
+	// serving per-application regions.
+	MolecularCache = molecular.Cache
+	// Region is an application-specific cache partition.
+	Region = molecular.Region
+	// RegionOptions customizes partition creation.
+	RegionOptions = molecular.RegionOptions
+	// ReplacementKind selects Random, Randy or LRU-Direct replacement.
+	ReplacementKind = molecular.ReplacementKind
+
+	// TraditionalConfig configures a set-associative baseline cache.
+	TraditionalConfig = cache.Config
+	// TraditionalCache is the set-associative baseline model.
+	TraditionalCache = cache.Cache
+	// PolicyKind selects the baseline replacement policy.
+	PolicyKind = cache.PolicyKind
+
+	// ResizeConfig configures the dynamic resizing controller.
+	ResizeConfig = resize.Config
+	// Controller drives Algorithm 1 over a molecular cache.
+	Controller = resize.Controller
+	// ResizeEvent records one resize decision.
+	ResizeEvent = resize.Event
+	// TriggerKind selects constant or adaptive resize scheduling.
+	TriggerKind = resize.TriggerKind
+
+	// SystemConfig configures the CMP substrate.
+	SystemConfig = cmp.Config
+	// System is the CMP substrate: cores with private L1s sharing an L2.
+	System = cmp.System
+	// Latency is the CMP timing model.
+	Latency = cmp.Latency
+
+	// Generator produces a deterministic reference stream.
+	Generator = workload.Generator
+	// Access is one generated reference.
+	Access = workload.Access
+
+	// PowerGeometry describes a traditional cache for the power model.
+	PowerGeometry = power.Geometry
+	// PowerEstimate is the power model output.
+	PowerEstimate = power.Estimate
+	// MolecularPowerGeometry describes a molecular cache for the model.
+	MolecularPowerGeometry = power.MolecularGeometry
+	// MolecularPowerEstimate is the molecular power model output.
+	MolecularPowerEstimate = power.MolecularEstimate
+
+	// Goals maps ASIDs to miss-rate goals for QoS metrics.
+	Goals = metrics.Goals
+	// HitMiss is a hit/miss counter pair.
+	HitMiss = stats.HitMiss
+	// Ledger tracks hit/miss counts per ASID.
+	Ledger = stats.Ledger
+
+	// Mesh models the tile interconnection network.
+	Mesh = noc.Mesh
+
+	// Profiler computes LRU stack-distance (miss-ratio-curve) profiles.
+	Profiler = stackdist.Profiler
+	// MissRatioCurve is a per-application LRU miss-rate-vs-size curve.
+	MissRatioCurve = stackdist.Curve
+	// OracleAllocation is a perfect-information static partition.
+	OracleAllocation = stackdist.Allocation
+
+	// ModifiedLRU is Suh et al.'s quota-partitioned shared cache.
+	ModifiedLRU = partition.ModifiedLRU
+	// ColumnCache is Suh et al.'s way-restricted shared cache.
+	ColumnCache = partition.ColumnCache
+	// HomeBank is a POCA-style process-ownership banked cache.
+	HomeBank = partition.HomeBank
+)
+
+// Reference kinds.
+const (
+	Read  = trace.Read
+	Write = trace.Write
+)
+
+// Molecule replacement policies (the paper's two plus the future-work
+// LRU-Direct extension).
+const (
+	Random    = molecular.RandomReplacement
+	Randy     = molecular.RandyReplacement
+	LRUDirect = molecular.LRUDirect
+)
+
+// Baseline replacement policies.
+const (
+	LRU        = cache.LRU
+	FIFO       = cache.FIFO
+	RandomWays = cache.Random
+	PLRU       = cache.PLRU
+)
+
+// Resize triggers.
+const (
+	ConstantTrigger       = resize.Constant
+	AdaptiveGlobalTrigger = resize.AdaptiveGlobal
+	AdaptivePerAppTrigger = resize.AdaptivePerApp
+)
+
+// SharedASID marks shared-bit molecules that serve every application.
+const SharedASID = molecular.SharedASID
+
+// Tech70 is the paper's 70 nm process model.
+var Tech70 = power.Tech70
+
+// NewMolecular builds a molecular cache.
+func NewMolecular(cfg MolecularConfig) (*MolecularCache, error) {
+	return molecular.New(cfg)
+}
+
+// NewTraditional builds a set-associative baseline cache.
+func NewTraditional(cfg TraditionalConfig) (*TraditionalCache, error) {
+	return cache.New(cfg)
+}
+
+// NewController attaches a resize controller to a molecular cache.
+func NewController(c *MolecularCache, cfg ResizeConfig) (*Controller, error) {
+	return resize.New(c, cfg)
+}
+
+// NewSystem builds the CMP substrate over the shared L2.
+func NewSystem(l2 Cache, cfg SystemConfig) (*System, error) {
+	return cmp.New(l2, cfg)
+}
+
+// NewWorkload instantiates one of the calibrated benchmark models
+// (Workloads lists them) rooted at base, deterministic in seed.
+func NewWorkload(name string, base, seed uint64) (Generator, error) {
+	return workload.New(name, base, seed)
+}
+
+// Workloads returns the available benchmark model names.
+func Workloads() []string { return workload.Names() }
+
+// EstimatePower runs the CACTI-style model for a traditional geometry.
+func EstimatePower(g PowerGeometry) (PowerEstimate, error) {
+	return power.Model(g, power.Tech70)
+}
+
+// EstimateMolecularPower runs the model for a molecular geometry.
+func EstimateMolecularPower(g MolecularPowerGeometry) (MolecularPowerEstimate, error) {
+	return power.ModelMolecular(g, power.Tech70)
+}
+
+// NewMesh builds a w x h tile interconnection mesh (zero latency/energy
+// arguments select the 70nm defaults).
+func NewMesh(w, h int, hopLatency uint64, hopEnergy float64) (*Mesh, error) {
+	return noc.New(w, h, hopLatency, hopEnergy)
+}
+
+// MeshForTiles builds a near-square mesh sized for n tiles.
+func MeshForTiles(n int) (*Mesh, error) { return noc.ForTiles(n) }
+
+// NewProfiler builds a stack-distance profiler over the given line size.
+func NewProfiler(lineSize uint64) *Profiler { return stackdist.New(lineSize) }
+
+// OraclePartition computes a perfect-information static partition from
+// miss-ratio curves (see internal/stackdist).
+func OraclePartition(curves map[uint16]*MissRatioCurve, goals map[uint16]float64,
+	totalLines, chunk int) (*OracleAllocation, error) {
+	return stackdist.OraclePartition(curves, goals, totalLines, chunk)
+}
+
+// NewModifiedLRU builds Suh et al.'s quota-partitioned cache.
+func NewModifiedLRU(size uint64, ways int, lineSize uint64, defaultQuota uint64) (*ModifiedLRU, error) {
+	return partition.NewModifiedLRU(size, ways, lineSize, defaultQuota)
+}
+
+// NewColumnCache builds Suh et al.'s way-restricted cache.
+func NewColumnCache(size uint64, ways int, lineSize uint64) (*ColumnCache, error) {
+	return partition.NewColumnCache(size, ways, lineSize)
+}
+
+// NewHomeBank builds a POCA-style banked cache.
+func NewHomeBank(banks int, bankSize uint64, ways int, lineSize uint64) (*HomeBank, error) {
+	return partition.NewHomeBank(banks, bankSize, ways, lineSize)
+}
+
+// AverageDeviation computes the paper's QoS metric: the mean excess over
+// the miss-rate goal across goal-bearing applications.
+func AverageDeviation(l *Ledger, goals Goals) float64 {
+	return metrics.AverageDeviation(l, goals)
+}
+
+// UniformGoals assigns the same miss-rate goal to every listed ASID.
+func UniformGoals(goal float64, asids ...uint16) Goals {
+	return metrics.UniformGoals(goal, asids...)
+}
+
+// Simulator couples a molecular cache with its resize controller so that
+// every access also ticks Algorithm 1's trigger — the common way to
+// drive the system.
+type Simulator struct {
+	Cache      *MolecularCache
+	Controller *Controller
+}
+
+// NewSimulator builds the cache and controller together.
+func NewSimulator(mcfg MolecularConfig, rcfg ResizeConfig) (*Simulator, error) {
+	c, err := molecular.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := resize.New(c, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{Cache: c, Controller: ctrl}, nil
+}
+
+// Access applies one reference and runs the resize trigger.
+func (s *Simulator) Access(r Ref) AccessResult {
+	res := s.Cache.Access(r)
+	s.Controller.Tick()
+	return res
+}
+
+// Run replays a reference slice through the simulator and returns the
+// per-ASID ledger.
+func (s *Simulator) Run(refs []Ref) *Ledger {
+	for _, r := range refs {
+		s.Access(r)
+	}
+	return s.Cache.Ledger()
+}

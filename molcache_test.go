@@ -1,0 +1,177 @@
+package molcache_test
+
+import (
+	"testing"
+
+	"molcache"
+)
+
+func TestFacadeQuickPath(t *testing.T) {
+	sim, err := molcache.NewSimulator(
+		molcache.MolecularConfig{TotalSize: 1 << 20, Seed: 1},
+		molcache.ResizeConfig{DefaultGoal: 0.10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two applications with disjoint hot sets.
+	for i := 0; i < 200000; i++ {
+		a := uint64(i%2048) * 64
+		sim.Access(molcache.Ref{Addr: a, ASID: 1, Kind: molcache.Read})
+		sim.Access(molcache.Ref{Addr: 1<<36 + a, ASID: 2, Kind: molcache.Write})
+	}
+	led := sim.Cache.Ledger()
+	for _, asid := range []uint16{1, 2} {
+		if mr := led.App(asid).MissRate(); mr > 0.05 {
+			t.Errorf("app %d miss rate = %.3f, want hot-loop hit behaviour", asid, mr)
+		}
+	}
+	if err := sim.Cache.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if len(sim.Controller.Events()) == 0 {
+		t.Error("controller never ran")
+	}
+}
+
+func TestFacadeTraditional(t *testing.T) {
+	c, err := molcache.NewTraditional(molcache.TraditionalConfig{
+		Size: 1 << 20, Ways: 4, LineSize: 64, Policy: molcache.LRU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(molcache.Ref{Addr: 64}).Hit {
+		t.Error("cold hit")
+	}
+	if !c.Access(molcache.Ref{Addr: 64}).Hit {
+		t.Error("warm miss")
+	}
+}
+
+func TestFacadeSystem(t *testing.T) {
+	l2, err := molcache.NewTraditional(molcache.TraditionalConfig{
+		Size: 1 << 20, Ways: 4, LineSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := molcache.NewSystem(l2, molcache.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := molcache.NewWorkload("ammp", 1<<36, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddCore(1, gen); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100000)
+	if sys.L1Ledger().App(1).Accesses() != 100000 {
+		t.Error("core did not issue the requested references")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	names := molcache.Workloads()
+	if len(names) != 15 {
+		t.Errorf("Workloads() = %d entries", len(names))
+	}
+	if _, err := molcache.NewWorkload("nosuch", 0, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFacadePower(t *testing.T) {
+	e, err := molcache.EstimatePower(molcache.PowerGeometry{
+		SizeBytes: 8 << 20, Assoc: 4, LineBytes: 64, Ports: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.AccessEnergy <= 0 || e.CycleTime <= 0 {
+		t.Errorf("degenerate estimate %+v", e)
+	}
+	me, err := molcache.EstimateMolecularPower(molcache.MolecularPowerGeometry{
+		TotalBytes: 8 << 20, MoleculeBytes: 8 << 10, LineBytes: 64,
+		TileMolecules: 64, PortsPerCluster: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.AccessEnergy(8) >= me.WorstCaseEnergy() {
+		t.Error("selective enablement missing from facade path")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	var l molcache.Ledger
+	l.Record(1, false)
+	l.Record(1, false)
+	l.Record(1, true)
+	l.Record(1, true) // miss rate 0.5
+	got := molcache.AverageDeviation(&l, molcache.UniformGoals(0.25, 1))
+	if got != 0.25 {
+		t.Errorf("AverageDeviation = %v, want 0.25", got)
+	}
+}
+
+func TestFacadeRelatedWorkSchemes(t *testing.T) {
+	m, err := molcache.NewModifiedLRU(1<<20, 8, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetQuota(1, 64)
+	m.Access(molcache.Ref{Addr: 0, ASID: 1})
+	if !m.Access(molcache.Ref{Addr: 0, ASID: 1}).Hit {
+		t.Error("ModifiedLRU warm miss")
+	}
+	cc, err := molcache.NewColumnCache(1<<20, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.AssignEqualColumns(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := molcache.NewHomeBank(4, 256<<10, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hb.SetHome(1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMeshAndProfiler(t *testing.T) {
+	mesh, err := molcache.MeshForTiles(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := molcache.NewMolecular(molcache.MolecularConfig{TotalSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.AttachInterconnect(mesh); err != nil {
+		t.Fatal(err)
+	}
+
+	p := molcache.NewProfiler(64)
+	for sweep := 0; sweep < 4; sweep++ {
+		for i := uint64(0); i < 64; i++ {
+			p.Record(1, i*64)
+		}
+	}
+	c, err := p.Curve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := map[uint16]*molcache.MissRatioCurve{1: c}
+	alloc, err := molcache.OraclePartition(curves, map[uint16]float64{1: 0.5}, 256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Lines[1] < 64 {
+		t.Errorf("oracle allocated %d lines, want >= the 64-line working set", alloc.Lines[1])
+	}
+}

@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-micro clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Just the hot-path micro benches (fast; includes the telemetry
+# overhead comparison).
+bench-micro:
+	$(GO) test -bench 'Access|CMPStep|WorkloadGeneration' -benchmem -run=NONE .
+
+clean:
+	$(GO) clean ./...

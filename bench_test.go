@@ -298,6 +298,42 @@ func BenchmarkMolecularAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkMolecularAccessTelemetry measures the telemetry tax on the
+// molecular access path: "disabled" is the default nil-attachment state
+// (must stay within a few percent of BenchmarkMolecularAccess — the
+// path pays two pointer checks), "metrics" adds the counter increments,
+// and "metrics+trace" adds ring-buffered event emission.
+func BenchmarkMolecularAccessTelemetry(b *testing.B) {
+	run := func(b *testing.B, attach func(*molecular.Cache)) {
+		mc := molecular.MustNew(molecular.Config{TotalSize: 2 * addr.MB, Seed: 1})
+		if attach != nil {
+			attach(mc)
+		}
+		gen := workload.MustNew("gcc", 1<<36, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := gen.Next()
+			k := trace.Read
+			if a.Write {
+				k = trace.Write
+			}
+			mc.Access(trace.Ref{Addr: a.Addr, ASID: 1, Kind: k})
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics", func(b *testing.B) {
+		run(b, func(mc *molecular.Cache) {
+			mc.AttachTelemetry(nil, molcache.NewRegistry())
+		})
+	})
+	b.Run("metrics+trace", func(b *testing.B) {
+		run(b, func(mc *molecular.Cache) {
+			mc.AttachTelemetry(molcache.NewTracer(0), molcache.NewRegistry())
+		})
+	})
+}
+
 // BenchmarkTraditionalAccess measures one set-associative lookup+fill.
 func BenchmarkTraditionalAccess(b *testing.B) {
 	c := cache.MustNew(cache.Config{Size: 2 * addr.MB, Ways: 8, LineSize: 64})

@@ -21,6 +21,7 @@ import (
 	"molcache/internal/addr"
 	"molcache/internal/experiments"
 	"molcache/internal/tabletext"
+	"molcache/internal/telemetry"
 )
 
 func main() {
@@ -29,7 +30,19 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, table1, figure5, related, table2, figure6, table4, table5, headline")
 	refs := flag.Int("refs", 0, "processor references per experiment (0 = default 48M)")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	var prof telemetry.ProfileConfig
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	opt := experiments.Options{ProcessorRefs: *refs, Seed: *seed}
 	want := strings.ToLower(*run)

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"molcache/internal/addr"
 	"molcache/internal/cache"
@@ -32,6 +33,7 @@ import (
 	"molcache/internal/resize"
 	"molcache/internal/stats"
 	"molcache/internal/tabletext"
+	"molcache/internal/telemetry"
 	"molcache/internal/trace"
 	"molcache/internal/workload"
 )
@@ -46,12 +48,29 @@ func main() {
 	goal := flag.Float64("goal", 0.10, "miss-rate goal for every application")
 	seed := flag.Uint64("seed", 2006, "simulation seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	eventsOut := flag.String("events", "", "write telemetry events (JSONL) to this file")
+	metricsOut := flag.String("metrics", "", "write a final metrics snapshot (Prometheus text) to this file; \"-\" for stdout")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "also stream periodic JSON metrics snapshots to stderr at this interval")
+	var prof telemetry.ProfileConfig
+	// -trace already means "binary trace to replay", so the execution
+	// trace takes the -exectrace name here.
+	prof.RegisterFlagsNamed(flag.CommandLine, "cpuprofile", "memprofile", "exectrace")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(workload.Names(), "\n"))
 		return
 	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	l2, mol, err := buildCache(*cacheSpec, *seed)
 	if err != nil {
@@ -63,6 +82,22 @@ func main() {
 		ctrl, err = resize.New(mol, resize.Config{DefaultGoal: *goal})
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	tr, reg, finishTelemetry, err := setupTelemetry(*eventsOut, *metricsOut, *snapshotEvery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finishTelemetry()
+	if tr != nil || reg != nil {
+		if mol != nil {
+			mol.AttachTelemetry(tr, reg)
+		} else if tc, ok := l2.(*cache.Cache); ok {
+			tc.AttachTelemetry(reg, "molcache_l2")
+		}
+		if ctrl != nil {
+			ctrl.AttachTelemetry(tr, reg)
 		}
 	}
 
@@ -81,6 +116,59 @@ func main() {
 	}
 
 	report(l2, mol, ctrl, asids, names, *goal)
+}
+
+// setupTelemetry builds the tracer/registry requested by the -events,
+// -metrics and -snapshot-every flags. The returned finish func flushes
+// the event sink, stops the snapshot ticker and writes the final
+// metrics file; it is safe to call when nothing was requested.
+func setupTelemetry(eventsOut, metricsOut string,
+	snapshotEvery time.Duration) (*telemetry.Tracer, *telemetry.Registry, func(), error) {
+	var (
+		tr        *telemetry.Tracer
+		reg       *telemetry.Registry
+		eventsF   *os.File
+		stopSnaps func()
+	)
+	if eventsOut != "" {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eventsF = f
+		tr = telemetry.NewTracer(0)
+		tr.SetSink(telemetry.NewJSONLSink(f))
+	}
+	if metricsOut != "" || snapshotEvery > 0 {
+		reg = telemetry.NewRegistry()
+	}
+	if snapshotEvery > 0 {
+		stopSnaps = telemetry.StartPeriodicSnapshots(reg, os.Stderr, snapshotEvery)
+	}
+	finish := func() {
+		if stopSnaps != nil {
+			stopSnaps()
+		}
+		if tr != nil {
+			if err := tr.Flush(); err != nil {
+				log.Print(err)
+			}
+		}
+		if eventsF != nil {
+			if err := eventsF.Close(); err != nil {
+				log.Print(err)
+			}
+		}
+		if reg != nil && metricsOut != "" {
+			text := reg.Snapshot().PrometheusString()
+			if metricsOut == "-" {
+				fmt.Print(text)
+			} else if err := os.WriteFile(metricsOut, []byte(text), 0o644); err != nil {
+				log.Print(err)
+			}
+		}
+	}
+	return tr, reg, finish, nil
 }
 
 // buildCache parses the -cache spec.

@@ -25,6 +25,7 @@ import (
 	"molcache/internal/metrics"
 	"molcache/internal/molecular"
 	"molcache/internal/resize"
+	"molcache/internal/telemetry"
 	"molcache/internal/trace"
 	"molcache/internal/workload"
 )
@@ -39,7 +40,31 @@ func main() {
 	polsF := flag.String("policies", "Random,Randy,LRU-Direct", "replacement policies to sweep")
 	lfF := flag.String("linefactors", "1", "line factors (lines per miss) to sweep")
 	seed := flag.Uint64("seed", 2006, "simulation seed")
+	metricsOut := flag.String("metrics", "", "write a final metrics snapshot (Prometheus text) to this file")
+	var prof telemetry.ProfileConfig
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		defer func() {
+			text := reg.Snapshot().PrometheusString()
+			if err := os.WriteFile(*metricsOut, []byte(text), 0o644); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	sizes, err := parseSizes(*sizesF)
 	if err != nil {
@@ -78,7 +103,7 @@ func main() {
 		for _, mol := range molecules {
 			for _, pol := range policies {
 				for _, lf := range lineFactors {
-					row, err := runOne(size, mol, pol, lf, goals, mg, refsOut, *seed)
+					row, err := runOne(size, mol, pol, lf, goals, mg, refsOut, *seed, reg)
 					if err != nil {
 						// Infeasible geometry (e.g. molecule > tile):
 						// skip, noting it on stderr.
@@ -116,9 +141,12 @@ func capture(refs int, seed uint64) []trace.Ref {
 	return sys.Captured()
 }
 
-// runOne replays the trace into one configuration.
+// runOne replays the trace into one configuration. When reg is non-nil
+// the counters accumulate across every swept combination (the gauges
+// reflect the last one).
 func runOne(size, mol uint64, pol molecular.ReplacementKind, lf int,
-	goals map[uint16]float64, mg metrics.Goals, refs []trace.Ref, seed uint64) ([]string, error) {
+	goals map[uint16]float64, mg metrics.Goals, refs []trace.Ref, seed uint64,
+	reg *telemetry.Registry) ([]string, error) {
 	mc, err := molecular.New(molecular.Config{
 		TotalSize:    size,
 		MoleculeSize: mol,
@@ -139,6 +167,10 @@ func runOne(size, mol uint64, pol molecular.ReplacementKind, lf int,
 	ctrl, err := resize.New(mc, resize.Config{Goals: goals})
 	if err != nil {
 		return nil, err
+	}
+	if reg != nil {
+		mc.AttachTelemetry(nil, reg)
+		ctrl.AttachTelemetry(nil, reg)
 	}
 	for _, r := range refs {
 		mc.Access(r)

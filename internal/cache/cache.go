@@ -78,6 +78,10 @@ type Cache struct {
 	lines  []line // sets*ways, way-major within a set
 	policy Policy
 	ledger stats.Ledger
+
+	// ins holds the telemetry instruments (nil by default: the access
+	// path pays one pointer check when metrics are off).
+	ins *cacheInstruments
 }
 
 var _ engine.Cache = (*Cache)(nil)
@@ -140,6 +144,7 @@ func (c *Cache) Access(r trace.Ref) engine.Result {
 			c.policy.Touch(set, w)
 			res.Hit = true
 			c.ledger.Record(r.ASID, true)
+			c.ins.record(true, res.TagProbes, 0)
 			return res
 		}
 	}
@@ -169,6 +174,7 @@ func (c *Cache) Access(r trace.Ref) engine.Result {
 	c.policy.Insert(set, way)
 	res.LinesFetched = 1
 	c.ledger.Record(r.ASID, false)
+	c.ins.record(false, res.TagProbes, res.Writebacks)
 	return res
 }
 

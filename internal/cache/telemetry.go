@@ -1,0 +1,51 @@
+package cache
+
+import "molcache/internal/telemetry"
+
+// cacheInstruments caches the registry handles for the access path, so
+// a hit or miss never does a name lookup. Nil (the default) means
+// metrics are off and Access pays a single pointer check.
+type cacheInstruments struct {
+	hits       *telemetry.Counter
+	misses     *telemetry.Counter
+	tagProbes  *telemetry.Counter
+	writebacks *telemetry.Counter
+}
+
+// AttachTelemetry registers the cache's counters under ns (default
+// "molcache_cache"); the namespace keeps several caches — an L2 and a
+// core's L1s, say — apart inside one shared registry. A nil registry
+// detaches.
+func (c *Cache) AttachTelemetry(reg *telemetry.Registry, ns string) {
+	if reg == nil {
+		c.ins = nil
+		return
+	}
+	if ns == "" {
+		ns = "molcache_cache"
+	}
+	c.ins = &cacheInstruments{
+		hits:       reg.Counter(ns + "_hits_total"),
+		misses:     reg.Counter(ns + "_misses_total"),
+		tagProbes:  reg.Counter(ns + "_tag_probes_total"),
+		writebacks: reg.Counter(ns + "_writebacks_total"),
+	}
+	reg.RegisterGaugeFunc(ns+"_miss_rate",
+		func() float64 { return c.ledger.Total.MissRate() })
+	reg.RegisterGaugeFunc(ns+"_valid_lines",
+		func() float64 { return float64(c.ValidLines()) })
+}
+
+// record notes one access on the attached instruments.
+func (ins *cacheInstruments) record(hit bool, probes, writebacks int) {
+	if ins == nil {
+		return
+	}
+	if hit {
+		ins.hits.Inc()
+	} else {
+		ins.misses.Inc()
+	}
+	ins.tagProbes.Add(uint64(probes))
+	ins.writebacks.Add(uint64(writebacks))
+}

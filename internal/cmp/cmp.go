@@ -16,6 +16,7 @@ import (
 	"molcache/internal/coherence"
 	"molcache/internal/engine"
 	"molcache/internal/stats"
+	"molcache/internal/telemetry"
 	"molcache/internal/trace"
 	"molcache/internal/workload"
 )
@@ -111,6 +112,14 @@ type System struct {
 	// OnL2Access, when set, observes every L2 access (the resize
 	// controller's Tick hooks in here).
 	OnL2Access func(trace.Ref, engine.Result)
+
+	// tracer, reg, l2Accesses and latency are the telemetry
+	// attachments (nil by default; issue pays two pointer checks when
+	// telemetry is off).
+	tracer     *telemetry.Tracer
+	reg        *telemetry.Registry
+	l2Accesses *telemetry.Counter
+	latency    *telemetry.Histogram
 }
 
 // New builds a CMP over the shared L2.
@@ -144,6 +153,9 @@ func (s *System) AddCore(asid uint16, gen workload.Generator) error {
 	l1, err := cache.New(s.cfg.L1)
 	if err != nil {
 		return err
+	}
+	if s.reg != nil {
+		l1.AttachTelemetry(s.reg, l1Namespace(uint8(len(s.cores))))
 	}
 	s.cores = append(s.cores, &core{
 		id:   uint8(len(s.cores)),
@@ -259,6 +271,9 @@ func (s *System) issue(c *core) {
 	if l1res.Hit {
 		c.cycles += s.cfg.Latency.L1Hit
 		c.readyAt += s.cfg.Latency.L1Hit
+		if s.latency != nil {
+			s.latency.Observe(float64(s.cfg.Latency.L1Hit))
+		}
 		return
 	}
 
@@ -266,6 +281,9 @@ func (s *System) issue(c *core) {
 		s.captured = append(s.captured, ref)
 	}
 	l2res := s.l2.Access(ref)
+	if s.l2Accesses != nil {
+		s.l2Accesses.Inc()
+	}
 	if s.OnL2Access != nil {
 		s.OnL2Access(ref, l2res)
 	}
@@ -275,6 +293,9 @@ func (s *System) issue(c *core) {
 	}
 	c.cycles += lat
 	c.readyAt += lat
+	if s.latency != nil {
+		s.latency.Observe(float64(lat))
+	}
 }
 
 // apply performs the cache-side effects of a directory action:

@@ -1,0 +1,36 @@
+package cmp
+
+import (
+	"fmt"
+
+	"molcache/internal/telemetry"
+)
+
+// AttachTelemetry instruments the whole substrate: the per-core L1s
+// (namespaced molcache_l1_core<N>), the MESI directory, an L2 access
+// counter and the end-to-end access-latency histogram (cycles each
+// reference cost the issuing core — the quantity CPI is built from).
+// Cores added after the call are instrumented as they arrive. Either
+// argument may be nil.
+func (s *System) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	s.tracer = tr
+	s.reg = reg
+	s.dir.AttachTelemetry(tr, reg)
+	if reg == nil {
+		s.l2Accesses = nil
+		s.latency = nil
+		return
+	}
+	s.l2Accesses = reg.Counter("molcache_l2_accesses_total")
+	s.latency = reg.Histogram("molcache_access_latency_cycles", nil)
+	reg.RegisterGaugeFunc("molcache_l1_miss_rate",
+		func() float64 { return s.l1Ledger.Total.MissRate() })
+	for _, c := range s.cores {
+		c.l1.AttachTelemetry(reg, l1Namespace(c.id))
+	}
+}
+
+// l1Namespace names one core's L1 metric family.
+func l1Namespace(id uint8) string {
+	return fmt.Sprintf("molcache_l1_core%d", id)
+}

@@ -1,0 +1,61 @@
+package coherence
+
+import "molcache/internal/telemetry"
+
+// dirInstruments caches the registry handles for the protocol paths.
+// Nil (the default) means metrics are off and each request pays one
+// pointer check.
+type dirInstruments struct {
+	invalidations *telemetry.Counter
+	downgrades    *telemetry.Counter
+	writebacks    *telemetry.Counter
+}
+
+// AttachTelemetry routes protocol events through a tracer (one event
+// per invalidation or downgrade burst, carrying the victim count) and a
+// registry (invalidation/downgrade/writeback counters). Either may be
+// nil.
+func (d *Directory) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	d.tracer = tr
+	if reg == nil {
+		d.ins = nil
+		return
+	}
+	d.ins = &dirInstruments{
+		invalidations: reg.Counter("molcache_coherence_invalidations_total"),
+		downgrades:    reg.Counter("molcache_coherence_downgrades_total"),
+		writebacks:    reg.Counter("molcache_coherence_writebacks_total"),
+	}
+	reg.RegisterGaugeFunc("molcache_coherence_tracked_lines",
+		func() float64 { return float64(d.Lines()) })
+}
+
+// observeInvalidations records one write's invalidation burst.
+func (d *Directory) observeInvalidations(line uint64, n int) {
+	if n == 0 {
+		return
+	}
+	if d.ins != nil {
+		d.ins.invalidations.Add(uint64(n))
+	}
+	if d.tracer != nil {
+		d.tracer.Coherence(telemetry.KindInvalidate, line, n)
+	}
+}
+
+// observeWriteback records one protocol-forced dirty flush.
+func (d *Directory) observeWriteback() {
+	if d.ins != nil {
+		d.ins.writebacks.Inc()
+	}
+}
+
+// observeDowngrade records one read-triggered M/E -> S demotion.
+func (d *Directory) observeDowngrade(line uint64) {
+	if d.ins != nil {
+		d.ins.downgrades.Inc()
+	}
+	if d.tracer != nil {
+		d.tracer.Coherence(telemetry.KindDowngrade, line, 1)
+	}
+}

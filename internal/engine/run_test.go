@@ -1,0 +1,79 @@
+package engine_test
+
+// External test package: Run is exercised against the real cache
+// models (which import engine), not a toy.
+
+import (
+	"testing"
+
+	"molcache/internal/addr"
+	"molcache/internal/cache"
+	"molcache/internal/engine"
+	"molcache/internal/molecular"
+	"molcache/internal/trace"
+)
+
+// knownTrace is a hand-counted reference stream over four lines of a
+// tiny direct-mapped cache: 1KB, 64B lines -> 16 sets, so addresses
+// 0, 64, 128 and 192 occupy distinct sets and never conflict.
+func knownTrace() []trace.Ref {
+	var refs []trace.Ref
+	// Round 1: four cold misses.
+	for _, a := range []uint64{0, 64, 128, 192} {
+		refs = append(refs, trace.Ref{Addr: a, ASID: 1, Kind: trace.Read})
+	}
+	// Rounds 2-4: all hits (12 accesses).
+	for i := 0; i < 3; i++ {
+		for _, a := range []uint64{0, 64, 128, 192} {
+			refs = append(refs, trace.Ref{Addr: a, ASID: 1, Kind: trace.Read})
+		}
+	}
+	// A conflicting address: set 0 again (0 + 16*64), evicting line 0,
+	// then a re-touch of 0 missing again: two more misses.
+	refs = append(refs,
+		trace.Ref{Addr: 1024, ASID: 1, Kind: trace.Read},
+		trace.Ref{Addr: 0, ASID: 1, Kind: trace.Read},
+	)
+	return refs
+}
+
+func TestRunAggregateCountsTraditional(t *testing.T) {
+	c := cache.MustNew(cache.Config{Size: 1 * addr.KB, Ways: 1, LineSize: 64})
+	refs := knownTrace()
+	hits, misses := engine.Run(c, refs)
+	if hits != 12 || misses != 6 {
+		t.Errorf("Run = %d hits, %d misses; want 12, 6", hits, misses)
+	}
+	if hits+misses != uint64(len(refs)) {
+		t.Errorf("counts %d+%d do not cover the %d-ref trace", hits, misses, len(refs))
+	}
+	// The cache's own ledger must agree with Run's tally.
+	hm := c.Ledger().App(1)
+	if hm.Hits != hits || hm.Misses != misses {
+		t.Errorf("ledger %d/%d disagrees with Run %d/%d", hm.Hits, hm.Misses, hits, misses)
+	}
+}
+
+func TestRunAggregateCountsMolecular(t *testing.T) {
+	// A molecular cache under the same stream: the whole working set
+	// (5 distinct lines) fits one molecule, so only the 5 first touches
+	// miss and nothing conflicts.
+	c := molecular.MustNew(molecular.Config{
+		TotalSize:       256 * addr.KB,
+		MoleculeSize:    8 * addr.KB,
+		TilesPerCluster: 4,
+		Policy:          molecular.RandyReplacement,
+	})
+	refs := knownTrace()
+	hits, misses := engine.Run(c, refs)
+	if misses != 5 || hits != uint64(len(refs)-5) {
+		t.Errorf("Run = %d hits, %d misses; want %d, 5", hits, misses, len(refs)-5)
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	c := cache.MustNew(cache.Config{Size: 1 * addr.KB, Ways: 1, LineSize: 64})
+	if hits, misses := engine.Run(c, nil); hits != 0 || misses != 0 {
+		t.Errorf("Run(nil) = %d, %d; want 0, 0", hits, misses)
+	}
+}

@@ -86,6 +86,53 @@ func TestEmptyGoals(t *testing.T) {
 	}
 }
 
+func TestDeviationsZeroAccessGoalBearers(t *testing.T) {
+	// Apps 2 and 5 carry goals but never touched the cache: Deviations
+	// must omit them entirely rather than reporting NaN miss rates, and
+	// the apps that did run must be unaffected by the silent entries.
+	l := ledgerWith(t, map[uint16][2]uint64{
+		1: {60, 40}, // miss 0.40 vs goal 0.10 -> excess 0.30
+		3: {90, 10}, // miss 0.10 vs goal 0.10 -> excess 0
+	})
+	ds := Deviations(l, UniformGoals(0.10, 1, 2, 3, 5))
+	if len(ds) != 2 {
+		t.Fatalf("got %d deviations, want 2 (silent apps skipped): %v", len(ds), ds)
+	}
+	if ds[0].ASID != 1 || ds[1].ASID != 3 {
+		t.Errorf("ASIDs = %d,%d, want 1,3 in ascending order", ds[0].ASID, ds[1].ASID)
+	}
+	if math.Abs(ds[0].Excess-0.30) > 1e-9 || ds[1].Excess != 0 {
+		t.Errorf("excesses = %v,%v, want 0.30,0", ds[0].Excess, ds[1].Excess)
+	}
+	for _, d := range ds {
+		if math.IsNaN(d.MissRate) || math.IsNaN(d.Excess) {
+			t.Errorf("NaN leaked into deviation %+v", d)
+		}
+	}
+}
+
+func TestDeviationsAllSilent(t *testing.T) {
+	// Every goal-bearing app is silent: the slice must be empty (and
+	// AverageDeviation must not divide by zero).
+	l := ledgerWith(t, map[uint16][2]uint64{7: {5, 5}}) // no goal
+	if ds := Deviations(l, UniformGoals(0.10, 1, 2)); len(ds) != 0 {
+		t.Errorf("Deviations over silent apps = %v, want empty", ds)
+	}
+	if got := AverageDeviation(l, UniformGoals(0.10, 1, 2)); got != 0 {
+		t.Errorf("AverageDeviation over silent apps = %v, want 0", got)
+	}
+}
+
+func TestDeviationsEmptyGoals(t *testing.T) {
+	l := ledgerWith(t, map[uint16][2]uint64{1: {1, 1}})
+	if ds := Deviations(l, Goals{}); len(ds) != 0 {
+		t.Errorf("Deviations with empty goals = %v, want empty", ds)
+	}
+	if ds := Deviations(l, nil); len(ds) != 0 {
+		t.Errorf("Deviations with nil goals = %v, want empty", ds)
+	}
+}
+
 func TestComputeHPM(t *testing.T) {
 	hm := stats.HitMiss{Hits: 80, Misses: 20}
 	h := ComputeHPM(4, "parser", hm, 16)

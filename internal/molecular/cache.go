@@ -9,6 +9,7 @@ import (
 	"molcache/internal/noc"
 	"molcache/internal/rng"
 	"molcache/internal/stats"
+	"molcache/internal/telemetry"
 	"molcache/internal/trace"
 )
 
@@ -140,6 +141,12 @@ type Cache struct {
 	mesh         *noc.Mesh
 	remoteCycles uint64
 
+	// tracer, reg and ins are the telemetry attachments (all nil by
+	// default: the access path pays two pointer checks when disabled).
+	tracer *telemetry.Tracer
+	reg    *telemetry.Registry
+	ins    *instruments
+
 	src *rng.Source
 }
 
@@ -269,6 +276,13 @@ func (c *Cache) CreateRegion(asid uint16, opts RegionOptions) (*Region, error) {
 	}
 	c.regions[asid] = r
 	c.growSpread(r, initial)
+	if c.ins != nil {
+		c.ins.regionMakes.Inc()
+	}
+	c.registerRegionGauges(r)
+	if c.tracer != nil {
+		c.tracer.Region(telemetry.KindRegionCreate, c.addresses, asid, r.count, r.count)
+	}
 	return r, nil
 }
 
@@ -340,6 +354,14 @@ func (c *Cache) Grow(r *Region, n int) (got int, err error) {
 		r.attach(m, row)
 		got++
 	}
+	if got > 0 {
+		if c.ins != nil {
+			c.ins.grows.Add(uint64(got))
+		}
+		if c.tracer != nil {
+			c.tracer.Region(telemetry.KindRegionGrow, c.addresses, r.asid, got, r.count)
+		}
+	}
 	return got, nil
 }
 
@@ -355,6 +377,15 @@ func (c *Cache) Shrink(r *Region, n int) (withdrawn, writebacks int) {
 		writebacks += r.detach(m)
 		m.tile.release(m)
 		withdrawn++
+	}
+	if withdrawn > 0 {
+		if c.ins != nil {
+			c.ins.shrinks.Add(uint64(withdrawn))
+			c.ins.writebacks.Add(uint64(writebacks))
+		}
+		if c.tracer != nil {
+			c.tracer.Region(telemetry.KindRegionShrink, c.addresses, r.asid, -withdrawn, r.count)
+		}
 	}
 	return withdrawn, writebacks
 }
@@ -403,6 +434,12 @@ func (c *Cache) Rebalance(r *Region) bool {
 		return false
 	}
 	r.attach(m2, hot)
+	if c.ins != nil {
+		c.ins.rebalances.Inc()
+	}
+	if c.tracer != nil {
+		c.tracer.Region(telemetry.KindRegionRebalance, c.addresses, r.asid, 0, r.count)
+	}
 	return true
 }
 
@@ -432,7 +469,7 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 		res.Hit = true
 		res.TagProbes = probes
 		res.DataReads = 1
-		c.finish(r, ref.ASID, res)
+		c.finish(r, ref, res)
 		return res
 	} else {
 		res.TagProbes += probes
@@ -465,7 +502,7 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 					c.remoteCycles += lat
 				}
 			}
-			c.finish(r, ref.ASID, res)
+			c.finish(r, ref, res)
 			return res
 		} else {
 			res.TagProbes += probes
@@ -499,7 +536,7 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 	res.LinesFetched = r.lineFactor
 	res.LinesEvicted = evicted
 	res.Writebacks = wb
-	c.finish(r, ref.ASID, res)
+	c.finish(r, ref, res)
 	return res
 }
 
@@ -535,14 +572,32 @@ func (c *Cache) probeTile(r *Region, t *Tile, asid uint16, block uint64, write b
 	return hit, probes
 }
 
-// finish records ledgers, windows and probe accounting for one access.
-func (c *Cache) finish(r *Region, asid uint16, res engine.Result) {
-	c.ledger.Record(asid, res.Hit)
+// finish records ledgers, windows and probe accounting for one access,
+// and — when telemetry is attached — the counters and the access event.
+func (c *Cache) finish(r *Region, ref trace.Ref, res engine.Result) {
+	c.ledger.Record(ref.ASID, res.Hit)
 	c.global.Record(res.Hit)
 	r.window.Record(res.Hit)
 	r.ledger.Record(res.Hit)
 	r.occupancySum += uint64(r.count)
 	c.probes.Observe(uint64(res.TagProbes))
+	if c.ins != nil {
+		if res.Hit {
+			c.ins.hits.Inc()
+		} else {
+			c.ins.misses.Inc()
+		}
+		if res.RemoteTileHit {
+			c.ins.remoteHits.Inc()
+		}
+		c.ins.tagProbes.Add(uint64(res.TagProbes))
+		c.ins.writebacks.Add(uint64(res.Writebacks))
+		c.ins.linesFetched.Add(uint64(res.LinesFetched))
+	}
+	if c.tracer != nil {
+		c.tracer.Access(c.addresses, ref.ASID, ref.Addr,
+			res.Hit, res.RemoteTileHit, res.TagProbes, res.Writebacks)
+	}
 }
 
 // Contains reports whether the line holding a is resident in any molecule
@@ -604,6 +659,9 @@ func (c *Cache) Rehome(asid uint16, tile int) error {
 			tile, cl.id, len(cl.tiles))
 	}
 	r.home = cl.tiles[tile]
+	if c.tracer != nil {
+		c.tracer.Region(telemetry.KindRegionRehome, c.addresses, asid, tile, r.count)
+	}
 	return nil
 }
 

@@ -1,0 +1,75 @@
+package molecular
+
+import (
+	"fmt"
+
+	"molcache/internal/telemetry"
+)
+
+// instruments caches the registry handles the hot path increments, so
+// an access never does a name lookup. A nil *instruments (the default)
+// means metrics are off and finish pays a single pointer check.
+type instruments struct {
+	hits         *telemetry.Counter
+	misses       *telemetry.Counter
+	remoteHits   *telemetry.Counter
+	tagProbes    *telemetry.Counter
+	writebacks   *telemetry.Counter
+	linesFetched *telemetry.Counter
+	regionMakes  *telemetry.Counter
+	grows        *telemetry.Counter
+	shrinks      *telemetry.Counter
+	rebalances   *telemetry.Counter
+}
+
+// AttachTelemetry routes the cache's observations through a tracer
+// (structured events) and a registry (live metrics). Either may be nil;
+// a nil tracer records no events and a nil registry registers no
+// metrics, leaving the access path with one pointer check each.
+// Regions created before the call get their gauges registered now;
+// regions created after, at creation.
+func (c *Cache) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	c.tracer = tr
+	c.reg = reg
+	if reg == nil {
+		c.ins = nil
+		return
+	}
+	c.ins = &instruments{
+		hits:         reg.Counter("molcache_molecular_hits_total"),
+		misses:       reg.Counter("molcache_molecular_misses_total"),
+		remoteHits:   reg.Counter("molcache_molecular_remote_tile_hits_total"),
+		tagProbes:    reg.Counter("molcache_molecular_tag_probes_total"),
+		writebacks:   reg.Counter("molcache_molecular_writebacks_total"),
+		linesFetched: reg.Counter("molcache_molecular_lines_fetched_total"),
+		regionMakes:  reg.Counter("molcache_molecular_region_creates_total"),
+		grows:        reg.Counter("molcache_molecular_grow_molecules_total"),
+		shrinks:      reg.Counter("molcache_molecular_shrink_molecules_total"),
+		rebalances:   reg.Counter("molcache_molecular_rebalances_total"),
+	}
+	reg.RegisterGaugeFunc("molcache_molecular_free_molecules",
+		func() float64 { return float64(c.FreeMolecules()) })
+	reg.RegisterGaugeFunc("molcache_molecular_miss_rate",
+		func() float64 { return c.ledger.Total.MissRate() })
+	reg.RegisterGaugeFunc("molcache_molecular_avg_probes_per_access",
+		func() float64 { return c.AverageProbes() })
+	for _, r := range c.regions {
+		c.registerRegionGauges(r)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Cache) Tracer() *telemetry.Tracer { return c.tracer }
+
+// registerRegionGauges exports one region's miss rate and size — the
+// paper's per-ASID quantities that Algorithm 1 steers by.
+func (c *Cache) registerRegionGauges(r *Region) {
+	if c.reg == nil {
+		return
+	}
+	label := fmt.Sprintf(`{asid="%d"}`, r.asid)
+	c.reg.RegisterGaugeFunc("molcache_region_miss_rate"+label,
+		func() float64 { return r.ledger.MissRate() })
+	c.reg.RegisterGaugeFunc("molcache_region_molecules"+label,
+		func() float64 { return float64(r.count) })
+}

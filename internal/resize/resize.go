@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"molcache/internal/molecular"
+	"molcache/internal/telemetry"
 )
 
 // TriggerKind selects when resizing runs.
@@ -182,6 +183,11 @@ type Controller struct {
 	apps   map[uint16]*appState
 	events []Event
 	cycles uint64
+
+	// tracer and decisions are the telemetry attachments (nil by
+	// default; a detached controller pays one pointer check per pass).
+	tracer    *telemetry.Tracer
+	decisions map[Action]*telemetry.Counter
 }
 
 // New builds a controller for cache.
@@ -349,6 +355,7 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 	defer func() {
 		ev.Size = r.MoleculeCount()
 		c.events = append(c.events, ev)
+		c.observe(ev)
 		// Consume the epoch's placement counters only after the grow/
 		// shrink placement has used them.
 		r.ResetEpoch()

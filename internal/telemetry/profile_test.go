@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfileConfigFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var p ProfileConfig
+	p.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "cpu.out", "-trace", "t.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != "cpu.out" || p.Trace != "t.out" || p.MemProfile != "" {
+		t.Errorf("parsed config = %+v", p)
+	}
+	if !p.Enabled() {
+		t.Error("Enabled() = false with profiles requested")
+	}
+	if (ProfileConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := ProfileConfig{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "exec.trace"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("second stop errored: %v", err)
+	}
+	for _, f := range []string{p.CPUProfile, p.MemProfile, p.Trace} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", f, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	p := ProfileConfig{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}
+	if _, err := p.Start(); err == nil {
+		t.Error("Start succeeded with an uncreatable path")
+	}
+}
+
+// lockedBuffer is an io.Writer safe for the snapshot goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+func TestPeriodicSnapshots(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ticks").Add(7)
+	var buf lockedBuffer
+	stop := StartPeriodicSnapshots(r, &buf, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	stop()
+	stop() // idempotent
+
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var snap Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("line %d is not a snapshot: %v", lines, err)
+		}
+		if snap.Counters["ticks"] != 7 {
+			t.Errorf("line %d counter = %d, want 7", lines, snap.Counters["ticks"])
+		}
+	}
+	// At least the final flush-on-stop snapshot must be present.
+	if lines == 0 {
+		t.Error("no snapshots written")
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives every event a tracer records. Implementations must be
+// safe for use from the single goroutine that owns the tracer; the
+// tracer serializes Write and Flush under its own lock.
+type Sink interface {
+	// Write consumes one event.
+	Write(e Event) error
+	// Flush forces buffered output down to the underlying writer.
+	Flush() error
+}
+
+// MemorySink collects events in memory — the test sink.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Write implements Sink.
+func (s *MemorySink) Write(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+	return nil
+}
+
+// Flush implements Sink (a no-op).
+func (s *MemorySink) Flush() error { return nil }
+
+// Events returns a copy of everything written so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of events written so far.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// JSONLSink streams events as one JSON object per line — the durable
+// sink commands attach when asked to record an event trace.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines encoder.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(e Event) error { return s.enc.Encode(e) }
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error { return s.bw.Flush() }

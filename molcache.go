@@ -26,6 +26,8 @@
 package molcache
 
 import (
+	"io"
+
 	"molcache/internal/cache"
 	"molcache/internal/cmp"
 	"molcache/internal/engine"
@@ -37,6 +39,7 @@ import (
 	"molcache/internal/resize"
 	"molcache/internal/stackdist"
 	"molcache/internal/stats"
+	"molcache/internal/telemetry"
 	"molcache/internal/trace"
 	"molcache/internal/workload"
 )
@@ -125,6 +128,27 @@ type (
 	ColumnCache = partition.ColumnCache
 	// HomeBank is a POCA-style process-ownership banked cache.
 	HomeBank = partition.HomeBank
+
+	// Tracer records structured simulation events into a ring buffer
+	// and optional sink. A nil *Tracer is a valid no-op.
+	Tracer = telemetry.Tracer
+	// TelemetryEvent is one traced event.
+	TelemetryEvent = telemetry.Event
+	// TelemetryKind classifies traced events.
+	TelemetryKind = telemetry.Kind
+	// TelemetrySink receives every traced event (JSONL or in-memory).
+	TelemetrySink = telemetry.Sink
+	// MemorySink buffers traced events in memory (tests, examples).
+	MemorySink = telemetry.MemorySink
+	// JSONLSink streams traced events as JSON lines.
+	JSONLSink = telemetry.JSONLSink
+	// Registry is a live metrics registry of counters, gauges and
+	// histograms with Prometheus-text and JSON snapshot exporters.
+	Registry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time registry capture.
+	MetricsSnapshot = telemetry.Snapshot
+	// ProfileConfig wires -cpuprofile / -memprofile / -trace flags.
+	ProfileConfig = telemetry.ProfileConfig
 )
 
 // Reference kinds.
@@ -158,6 +182,19 @@ const (
 
 // SharedASID marks shared-bit molecules that serve every application.
 const SharedASID = molecular.SharedASID
+
+// Telemetry event kinds.
+const (
+	KindAccess          = telemetry.KindAccess
+	KindRegionCreate    = telemetry.KindRegionCreate
+	KindRegionGrow      = telemetry.KindRegionGrow
+	KindRegionShrink    = telemetry.KindRegionShrink
+	KindRegionRebalance = telemetry.KindRegionRebalance
+	KindRegionRehome    = telemetry.KindRegionRehome
+	KindResize          = telemetry.KindResize
+	KindInvalidate      = telemetry.KindInvalidate
+	KindDowngrade       = telemetry.KindDowngrade
+)
 
 // Tech70 is the paper's 70 nm process model.
 var Tech70 = power.Tech70
@@ -246,6 +283,32 @@ func UniformGoals(goal float64, asids ...uint16) Goals {
 	return metrics.UniformGoals(goal, asids...)
 }
 
+// NewTracer builds an event tracer holding the last ringSize events
+// (<= 0 selects the default). A nil *Tracer is a valid no-op tracer.
+func NewTracer(ringSize int) *Tracer { return telemetry.NewTracer(ringSize) }
+
+// NewRegistry builds an empty metrics registry. A nil *Registry is a
+// valid no-op registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// ParseMetricsJSON parses a JSON metrics snapshot (Snapshot.JSON's
+// output) back into a MetricsSnapshot.
+func ParseMetricsJSON(data []byte) (MetricsSnapshot, error) {
+	return telemetry.ParseJSON(data)
+}
+
+// ParseMetricsPrometheus parses a Prometheus text-format page
+// (Snapshot.Prometheus's output) back into a MetricsSnapshot.
+func ParseMetricsPrometheus(r io.Reader) (MetricsSnapshot, error) {
+	return telemetry.ParsePrometheus(r)
+}
+
+// NewMemorySink buffers traced events in memory.
+func NewMemorySink() *MemorySink { return telemetry.NewMemorySink() }
+
+// NewJSONLSink streams traced events to w as JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONLSink(w) }
+
 // Simulator couples a molecular cache with its resize controller so that
 // every access also ticks Algorithm 1's trigger — the common way to
 // drive the system.
@@ -265,6 +328,14 @@ func NewSimulator(mcfg MolecularConfig, rcfg ResizeConfig) (*Simulator, error) {
 		return nil, err
 	}
 	return &Simulator{Cache: c, Controller: ctrl}, nil
+}
+
+// AttachTelemetry routes both the cache's and the controller's
+// observations through tr (structured events) and reg (live metrics).
+// Either may be nil; attaching nil detaches.
+func (s *Simulator) AttachTelemetry(tr *Tracer, reg *Registry) {
+	s.Cache.AttachTelemetry(tr, reg)
+	s.Controller.AttachTelemetry(tr, reg)
 }
 
 // Access applies one reference and runs the resize trigger.

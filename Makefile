@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test race vet bench bench-micro clean
+.PHONY: all build test race vet bench bench-micro fuzz faults clean
 
 all: build vet test
 
@@ -23,6 +24,18 @@ bench:
 # overhead comparison).
 bench-micro:
 	$(GO) test -bench 'Access|CMPStep|WorkloadGeneration' -benchmem -run=NONE .
+
+# Fuzz the trace decoders (FUZZTIME per target).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzCompressedReader -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzParseTextLine -fuzztime $(FUZZTIME) ./internal/trace
+
+# Drive the bundled fault campaign through molsim with invariant audits;
+# exits nonzero on any violation or undelivered failure.
+faults:
+	$(GO) run ./cmd/molsim -cache molecular:1MB:2x4:Randy -mix art,mcf,parser \
+		-refs 2000000 -faults cmd/molsim/testdata/campaign.json -check-invariants 2000
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,8 @@ import (
 	"molcache/internal/cache"
 	"molcache/internal/cmp"
 	"molcache/internal/engine"
+	"molcache/internal/faults"
+	"molcache/internal/invariant"
 	"molcache/internal/metrics"
 	"molcache/internal/molecular"
 	"molcache/internal/resize"
@@ -48,6 +50,8 @@ func main() {
 	goal := flag.Float64("goal", 0.10, "miss-rate goal for every application")
 	seed := flag.Uint64("seed", 2006, "simulation seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	faultsPath := flag.String("faults", "", "fault campaign JSON to inject (molecular caches only)")
+	checkEvery := flag.Uint64("check-invariants", 0, "audit structural invariants every N L2 accesses (0 disables)")
 	eventsOut := flag.String("events", "", "write telemetry events (JSONL) to this file")
 	metricsOut := flag.String("metrics", "", "write a final metrics snapshot (Prometheus text) to this file; \"-\" for stdout")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "also stream periodic JSON metrics snapshots to stderr at this interval")
@@ -77,6 +81,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *faultsPath != "" {
+		if mol == nil {
+			log.Fatal("-faults requires a molecular cache")
+		}
+		camp, err := faults.Load(*faultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj, err := faults.NewInjector(camp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mol.AttachFaults(inj); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	var ctrl *resize.Controller
 	if mol != nil {
 		ctrl, err = resize.New(mol, resize.Config{DefaultGoal: *goal})
@@ -101,21 +122,32 @@ func main() {
 		}
 	}
 
-	var asids []uint16
-	names := map[uint16]string{}
+	var (
+		asids []uint16
+		names map[uint16]string
+		chk   *invariant.Checker
+	)
 	switch {
 	case *traceIn != "":
-		asids, names = replayTrace(*traceIn, l2, ctrl)
+		asids, names, chk = replayTrace(*traceIn, l2, mol, ctrl, *checkEvery)
 	case *mix != "":
-		asids, names, err = runMix(*mix, l2, ctrl, *refs, *seed)
+		asids, names, chk, err = runMix(*mix, l2, ctrl, *refs, *seed, *checkEvery)
 		if err != nil {
 			log.Fatal(err)
 		}
 	default:
 		log.Fatal("need -mix or -trace (or -list)")
 	}
+	if chk != nil {
+		chk.Run() // final audit after the last access
+	}
 
 	report(l2, mol, ctrl, asids, names, *goal)
+	if !reportFaults(mol, chk) {
+		finishTelemetry()
+		stopProf()
+		os.Exit(1)
+	}
 }
 
 // setupTelemetry builds the tracer/registry requested by the -events,
@@ -254,13 +286,24 @@ func parseSize(s string) (uint64, error) {
 
 // runMix drives the CMP substrate over the shared cache.
 func runMix(mix string, l2 engine.Cache, ctrl *resize.Controller,
-	refs int, seed uint64) ([]uint16, map[uint16]string, error) {
+	refs int, seed uint64, checkEvery uint64) ([]uint16, map[uint16]string, *invariant.Checker, error) {
 	sys, err := cmp.New(l2, cmp.Config{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if ctrl != nil {
-		sys.OnL2Access = func(trace.Ref, engine.Result) { ctrl.Tick() }
+	var chk *invariant.Checker
+	if checkEvery > 0 {
+		chk = invariant.NewChecker(invariant.SystemSource(sys), checkEvery)
+	}
+	if ctrl != nil || chk != nil {
+		sys.OnL2Access = func(trace.Ref, engine.Result) {
+			if ctrl != nil {
+				ctrl.Tick()
+			}
+			if chk != nil {
+				chk.Tick()
+			}
+		}
 	}
 	var asids []uint16
 	names := map[uint16]string{}
@@ -269,20 +312,21 @@ func runMix(mix string, l2 engine.Cache, ctrl *resize.Controller,
 		asid := uint16(i + 1)
 		gen, err := workload.New(name, uint64(asid)<<36, seed+uint64(asid)*1000)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := sys.AddCore(asid, gen); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		asids = append(asids, asid)
 		names[asid] = name
 	}
 	sys.Run(refs)
-	return asids, names, nil
+	return asids, names, chk, nil
 }
 
 // replayTrace feeds a recorded binary trace straight into the cache.
-func replayTrace(path string, l2 engine.Cache, ctrl *resize.Controller) ([]uint16, map[uint16]string) {
+func replayTrace(path string, l2 engine.Cache, mol *molecular.Cache,
+	ctrl *resize.Controller, checkEvery uint64) ([]uint16, map[uint16]string, *invariant.Checker) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -291,6 +335,14 @@ func replayTrace(path string, l2 engine.Cache, ctrl *resize.Controller) ([]uint1
 	r, err := trace.NewReader(f)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var chk *invariant.Checker
+	if checkEvery > 0 {
+		if mol != nil {
+			chk = invariant.NewChecker(invariant.CacheSource(mol), checkEvery)
+		} else {
+			log.Print("-check-invariants audits molecular caches only; skipping")
+		}
 	}
 	seen := map[uint16]bool{}
 	var asids []uint16
@@ -303,6 +355,9 @@ func replayTrace(path string, l2 engine.Cache, ctrl *resize.Controller) ([]uint1
 		if ctrl != nil {
 			ctrl.Tick()
 		}
+		if chk != nil {
+			chk.Tick()
+		}
 		if !seen[ref.ASID] {
 			seen[ref.ASID] = true
 			asids = append(asids, ref.ASID)
@@ -312,7 +367,7 @@ func replayTrace(path string, l2 engine.Cache, ctrl *resize.Controller) ([]uint1
 	for _, a := range asids {
 		names[a] = fmt.Sprintf("asid%d", a)
 	}
-	return asids, names
+	return asids, names, chk
 }
 
 // report prints per-application results and molecular internals.
@@ -360,4 +415,47 @@ func report(l2 engine.Cache, mol *molecular.Cache, ctrl *resize.Controller,
 		fmt.Printf("resize passes: %d decisions, %d daemon cycles\n",
 			len(ctrl.Events()), ctrl.CyclesSpent())
 	}
+}
+
+// reportFaults prints the fault-injection and invariant-audit sections.
+// It returns false when the run must exit nonzero: an invariant audit
+// found violations, or scheduled molecule failures were never delivered.
+func reportFaults(mol *molecular.Cache, chk *invariant.Checker) bool {
+	ok := true
+	if mol != nil && mol.Faults() != nil {
+		inj := mol.Faults()
+		st := inj.Stats()
+		deg := mol.Degradation()
+		fmt.Printf("faults injected: %d molecule failures (%d pending), %d line corruptions, %d delayed lookups, %d out-of-range dropped\n",
+			st.MoleculeFailures, inj.PendingFailures(), st.LineCorruptions,
+			st.NoCDelayedLookups, st.SkippedOutOfRange)
+		fmt.Printf("degradation: %d molecules retired (%d writebacks, %d lines lost), %d corruptions (%d dirty), %d NoC retries (%d abandoned), %d uncached bypasses\n",
+			deg.RetiredMolecules, deg.RetirementWritebacks, deg.RetirementLinesLost,
+			deg.LineCorruptions, deg.DirtyCorruptions,
+			deg.NoCRetries, deg.NoCAbandonedLookups, deg.UncachedBypasses)
+		if pending := inj.PendingFailures(); pending > 0 {
+			log.Printf("%d scheduled molecule failures never delivered (run longer?)", pending)
+		}
+		if deg.RetiredMolecules != st.MoleculeFailures {
+			log.Printf("delivered %d molecule failures but retired %d molecules",
+				st.MoleculeFailures, deg.RetiredMolecules)
+			ok = false
+		}
+	}
+	if chk != nil {
+		vs := chk.Violations()
+		fmt.Printf("invariant audits: %d runs, %d violations\n", chk.Runs(), len(vs))
+		if len(vs) > 0 {
+			fmt.Println(chk.Summary())
+			for i, v := range vs {
+				if i == 20 {
+					fmt.Printf("  ... %d more\n", len(vs)-20)
+					break
+				}
+				fmt.Printf("  [%s] %s\n", v.Rule, v.Detail)
+			}
+			ok = false
+		}
+	}
+	return ok
 }

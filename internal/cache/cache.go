@@ -39,6 +39,11 @@ func (c Config) Validate() error {
 	if c.Ways < 1 {
 		return fmt.Errorf("cache: ways must be >= 1, got %d", c.Ways)
 	}
+	switch c.Policy {
+	case "", LRU, FIFO, Random, PLRU:
+	default:
+		return fmt.Errorf("cache: unknown policy kind %q", c.Policy)
+	}
 	if !addr.IsPow2(uint64(c.Ways)) {
 		return fmt.Errorf("cache: ways must be a power of two, got %d", c.Ways)
 	}
@@ -95,6 +100,10 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	sets := int(cfg.Size / cfg.LineSize / uint64(cfg.Ways))
+	policy, err := NewPolicy(cfg.Policy, sets, cfg.Ways, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	return &Cache{
 		cfg:    cfg,
 		sets:   sets,
@@ -102,7 +111,7 @@ func New(cfg Config) (*Cache, error) {
 		shift:  addr.Log2(cfg.LineSize),
 		mask:   uint64(sets - 1),
 		lines:  make([]line, sets*cfg.Ways),
-		policy: NewPolicy(cfg.Policy, sets, cfg.Ways, cfg.Seed),
+		policy: policy,
 	}, nil
 }
 
@@ -225,6 +234,21 @@ func (c *Cache) find(a uint64) (set, way int, ln *line) {
 		}
 	}
 	return 0, 0, nil
+}
+
+// EachLine calls fn for every resident line with its reconstructed
+// address, owning ASID and dirty bit — the invariant checker's view of
+// the contents. Read-only.
+func (c *Cache) EachLine(fn func(a uint64, asid uint16, dirty bool)) {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		set := uint64(i / c.ways)
+		a := ((ln.tag << addr.Log2(uint64(c.sets))) | set) << c.shift
+		fn(a, ln.asid, ln.dirty)
+	}
 }
 
 // ValidLines counts resident lines (a test and debugging aid).

@@ -198,17 +198,26 @@ func TestPLRUVictimIsNotMRU(t *testing.T) {
 }
 
 func TestPLRURejectsNonPow2(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("PLRU with 3 ways did not panic")
-		}
-	}()
-	newPLRU(4, 3)
+	if _, err := newPLRU(4, 3); err == nil {
+		t.Fatal("PLRU with 3 ways accepted")
+	}
+	if _, err := NewPolicy(PLRU, 4, 3, 0); err == nil {
+		t.Fatal("NewPolicy(PLRU, 3 ways) accepted")
+	}
+	if _, err := NewPolicy("Bogus", 4, 4, 0); err == nil {
+		t.Fatal("unknown policy kind accepted")
+	}
+	if _, err := New(Config{Size: 1024, Ways: 4, LineSize: 64, Policy: "Bogus"}); err == nil {
+		t.Fatal("cache with unknown policy kind accepted")
+	}
 }
 
 func TestRandomPolicyDeterministicBySeed(t *testing.T) {
 	mk := func(seed uint64) []int {
-		p := NewPolicy(Random, 1, 8, seed)
+		p, err := NewPolicy(Random, 1, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
 		out := make([]int, 50)
 		for i := range out {
 			out[i] = p.Victim(0)

@@ -4,7 +4,11 @@
 // is the repository's stand-in for the authors' modified Dinero.
 package cache
 
-import "molcache/internal/rng"
+import (
+	"fmt"
+
+	"molcache/internal/rng"
+)
 
 // Policy selects replacement victims within a set. Implementations hold
 // per-set state sized at construction.
@@ -34,18 +38,18 @@ const (
 
 // NewPolicy constructs per-set policy state for sets x ways.
 // The seed only matters for Random.
-func NewPolicy(kind PolicyKind, sets, ways int, seed uint64) Policy {
+func NewPolicy(kind PolicyKind, sets, ways int, seed uint64) (Policy, error) {
 	switch kind {
 	case LRU:
-		return newLRU(sets, ways)
+		return newLRU(sets, ways), nil
 	case FIFO:
-		return newFIFO(sets, ways)
+		return newFIFO(sets, ways), nil
 	case Random:
-		return &randomPolicy{ways: ways, src: rng.New(seed)}
+		return &randomPolicy{ways: ways, src: rng.New(seed)}, nil
 	case PLRU:
 		return newPLRU(sets, ways)
 	default:
-		panic("cache: unknown policy kind " + string(kind))
+		return nil, fmt.Errorf("cache: unknown policy kind %q", kind)
 	}
 }
 
@@ -130,15 +134,15 @@ type plruPolicy struct {
 	bits [][]bool // per set, ways-1 internal nodes
 }
 
-func newPLRU(sets, ways int) *plruPolicy {
+func newPLRU(sets, ways int) (*plruPolicy, error) {
 	if ways&(ways-1) != 0 {
-		panic("cache: PLRU requires power-of-two associativity")
+		return nil, fmt.Errorf("cache: PLRU requires power-of-two associativity, got %d ways", ways)
 	}
 	bits := make([][]bool, sets)
 	for i := range bits {
 		bits[i] = make([]bool, ways-1)
 	}
-	return &plruPolicy{ways: ways, bits: bits}
+	return &plruPolicy{ways: ways, bits: bits}, nil
 }
 
 func (p *plruPolicy) Name() string { return string(PLRU) }

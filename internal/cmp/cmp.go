@@ -187,6 +187,23 @@ func (s *System) Coherence() CoherenceStats {
 	}
 }
 
+// Directory exposes the MESI directory for inspection (the invariant
+// checker reads its per-line state).
+func (s *System) Directory() *coherence.Directory { return s.dir }
+
+// EachL1Line calls fn for every resident line of every core's private
+// L1, with the core ID, the line-aligned address and the dirty bit.
+// Read-only; the invariant checker cross-checks this against the
+// directory's sharer sets.
+func (s *System) EachL1Line(fn func(coreID int, a uint64, dirty bool)) {
+	for _, c := range s.cores {
+		id := int(c.id)
+		c.l1.EachLine(func(a uint64, _ uint16, dirty bool) {
+			fn(id, a, dirty)
+		})
+	}
+}
+
 // Captured returns the recorded L1-miss trace (nil unless enabled).
 func (s *System) Captured() []trace.Ref { return s.captured }
 
@@ -262,10 +279,18 @@ func (s *System) issue(c *core) {
 	// Drive the MESI directory: every write consults it (a write hit on
 	// a Shared line still needs an ownership upgrade); read hits are
 	// quiet (the holder is already at least Shared).
+	// Core IDs are bounded by AddCore, so the directory never rejects
+	// them; a rejection would mean internal corruption, and skipping the
+	// coherence actions (never applying a bogus mask) is the safe
+	// degradation.
 	if ref.Kind == trace.Write {
-		s.apply(s.dir.Write(line, int(c.id)), line)
+		if act, err := s.dir.Write(line, int(c.id)); err == nil {
+			s.apply(act, line)
+		}
 	} else if !l1res.Hit {
-		s.apply(s.dir.Read(line, int(c.id)), line)
+		if act, err := s.dir.Read(line, int(c.id)); err == nil {
+			s.apply(act, line)
+		}
 	}
 
 	if l1res.Hit {

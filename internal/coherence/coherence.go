@@ -119,19 +119,23 @@ func (d *Directory) StateOf(line uint64, cacheID int) State {
 }
 
 // Read processes a processor read from cacheID and returns the actions.
-func (d *Directory) Read(line uint64, cacheID int) Action {
-	d.check(cacheID)
+// A cache ID outside [0, MaxCaches) is rejected with an error and does
+// not perturb directory state.
+func (d *Directory) Read(line uint64, cacheID int) (Action, error) {
+	if err := checkCacheID(cacheID); err != nil {
+		return Action{WritebackFrom: -1}, err
+	}
 	d.stats.Reads++
 	e := d.lines[line]
 	bit := uint16(1) << uint(cacheID)
 	if e == nil {
 		// First touch: Exclusive.
 		d.lines[line] = &entry{sharers: bit, owner: int8(cacheID)}
-		return Action{NewState: Exclusive, WritebackFrom: -1}
+		return Action{NewState: Exclusive, WritebackFrom: -1}, nil
 	}
 	if e.sharers&bit != 0 {
 		// Already holding: state unchanged.
-		return Action{NewState: d.StateOf(line, cacheID), WritebackFrom: -1}
+		return Action{NewState: d.StateOf(line, cacheID), WritebackFrom: -1}, nil
 	}
 	act := Action{NewState: Shared, WritebackFrom: -1}
 	if e.owner >= 0 {
@@ -149,18 +153,22 @@ func (d *Directory) Read(line uint64, cacheID int) Action {
 		e.owner = -1
 	}
 	e.sharers |= bit
-	return act
+	return act, nil
 }
 
-// Write processes a processor write from cacheID and returns the actions.
-func (d *Directory) Write(line uint64, cacheID int) Action {
-	d.check(cacheID)
+// Write processes a processor write from cacheID and returns the
+// actions. A cache ID outside [0, MaxCaches) is rejected with an error
+// and does not perturb directory state.
+func (d *Directory) Write(line uint64, cacheID int) (Action, error) {
+	if err := checkCacheID(cacheID); err != nil {
+		return Action{WritebackFrom: -1}, err
+	}
 	d.stats.Writes++
 	bit := uint16(1) << uint(cacheID)
 	e := d.lines[line]
 	if e == nil {
 		d.lines[line] = &entry{sharers: bit, owner: int8(cacheID), dirty: true}
-		return Action{NewState: Modified, WritebackFrom: -1}
+		return Action{NewState: Modified, WritebackFrom: -1}, nil
 	}
 	act := Action{NewState: Modified, WritebackFrom: -1}
 	switch {
@@ -187,17 +195,20 @@ func (d *Directory) Write(line uint64, cacheID int) Action {
 	e.sharers = bit
 	e.owner = int8(cacheID)
 	e.dirty = true
-	return act
+	return act, nil
 }
 
 // Evict records that cacheID silently dropped the line (a replacement).
 // dirty copies are written back by the evicting cache itself; the
-// directory only forgets the sharer.
-func (d *Directory) Evict(line uint64, cacheID int) {
-	d.check(cacheID)
+// directory only forgets the sharer. An out-of-range cache ID is
+// rejected with an error.
+func (d *Directory) Evict(line uint64, cacheID int) error {
+	if err := checkCacheID(cacheID); err != nil {
+		return err
+	}
 	e := d.lines[line]
 	if e == nil {
-		return
+		return nil
 	}
 	bit := uint16(1) << uint(cacheID)
 	e.sharers &^= bit
@@ -208,6 +219,7 @@ func (d *Directory) Evict(line uint64, cacheID int) {
 	if e.sharers == 0 {
 		delete(d.lines, line)
 	}
+	return nil
 }
 
 // Lines returns the number of tracked lines (test aid).
@@ -224,8 +236,31 @@ func (d *Directory) countInvalidations(mask uint16) int {
 	return n
 }
 
-func (d *Directory) check(cacheID int) {
+// checkCacheID validates a requestor against the sharer-bitmask bound.
+func checkCacheID(cacheID int) error {
 	if cacheID < 0 || cacheID >= MaxCaches {
-		panic(fmt.Sprintf("coherence: cache id %d outside [0,%d)", cacheID, MaxCaches))
+		return fmt.Errorf("coherence: cache id %d outside [0,%d)", cacheID, MaxCaches)
+	}
+	return nil
+}
+
+// LineInfo describes one directory entry for inspection (the invariant
+// checker's view of the protocol state).
+type LineInfo struct {
+	// Line is the tracked line address.
+	Line uint64
+	// Sharers is the bitmask of caches holding a copy.
+	Sharers uint16
+	// Owner is the single E/M holder, -1 when none.
+	Owner int
+	// Dirty reports whether the owner's copy is modified.
+	Dirty bool
+}
+
+// EachLine calls fn for every tracked line. Read-only; iteration order
+// is unspecified.
+func (d *Directory) EachLine(fn func(LineInfo)) {
+	for line, e := range d.lines {
+		fn(LineInfo{Line: line, Sharers: e.sharers, Owner: int(e.owner), Dirty: e.dirty})
 	}
 }

@@ -7,7 +7,7 @@ import (
 
 func TestFirstReadIsExclusive(t *testing.T) {
 	d := NewDirectory()
-	act := d.Read(1, 0)
+	act, _ := d.Read(1, 0)
 	if act.NewState != Exclusive || act.InvalidateMask != 0 || act.WritebackFrom != -1 {
 		t.Errorf("first read = %+v", act)
 	}
@@ -19,7 +19,7 @@ func TestFirstReadIsExclusive(t *testing.T) {
 func TestSecondReaderSharesAndDowngrades(t *testing.T) {
 	d := NewDirectory()
 	d.Read(1, 0) // E
-	act := d.Read(1, 1)
+	act, _ := d.Read(1, 1)
 	if act.NewState != Shared {
 		t.Errorf("second reader state = %v", act.NewState)
 	}
@@ -37,7 +37,7 @@ func TestSecondReaderSharesAndDowngrades(t *testing.T) {
 func TestReadFromModifiedWritesBack(t *testing.T) {
 	d := NewDirectory()
 	d.Write(1, 0) // M
-	act := d.Read(1, 1)
+	act, _ := d.Read(1, 1)
 	if act.WritebackFrom != 0 {
 		t.Errorf("WritebackFrom = %d, want 0", act.WritebackFrom)
 	}
@@ -55,7 +55,7 @@ func TestReadFromModifiedWritesBack(t *testing.T) {
 func TestSilentEToMUpgrade(t *testing.T) {
 	d := NewDirectory()
 	d.Read(1, 0) // E
-	act := d.Write(1, 0)
+	act, _ := d.Write(1, 0)
 	if act.NewState != Modified || act.InvalidateMask != 0 {
 		t.Errorf("E->M upgrade = %+v", act)
 	}
@@ -72,7 +72,7 @@ func TestSToMInvalidatesSharers(t *testing.T) {
 	d.Read(1, 0)
 	d.Read(1, 1)
 	d.Read(1, 2) // S in 0,1,2
-	act := d.Write(1, 1)
+	act, _ := d.Write(1, 1)
 	if act.InvalidateMask != (1<<0 | 1<<2) {
 		t.Errorf("invalidate mask = %b, want caches 0 and 2", act.InvalidateMask)
 	}
@@ -87,7 +87,7 @@ func TestSToMInvalidatesSharers(t *testing.T) {
 func TestWriteMissFromModifiedOwner(t *testing.T) {
 	d := NewDirectory()
 	d.Write(1, 0) // M in 0
-	act := d.Write(1, 1)
+	act, _ := d.Write(1, 1)
 	if act.InvalidateMask != 1<<0 || act.WritebackFrom != 0 {
 		t.Errorf("write-miss action = %+v", act)
 	}
@@ -107,7 +107,7 @@ func TestEvictForgetsSharer(t *testing.T) {
 		t.Error("empty entry not reclaimed")
 	}
 	// A later read is a fresh Exclusive.
-	if act := d.Read(1, 2); act.NewState != Exclusive {
+	if act, _ := d.Read(1, 2); act.NewState != Exclusive {
 		t.Errorf("post-evict read = %+v", act)
 	}
 	// Evicting an untracked line is a no-op.
@@ -118,7 +118,7 @@ func TestRepeatedAccessIsQuiet(t *testing.T) {
 	d := NewDirectory()
 	d.Write(1, 0)
 	for i := 0; i < 5; i++ {
-		act := d.Read(1, 0)
+		act, _ := d.Read(1, 0)
 		if act.InvalidateMask != 0 || act.DowngradeMask != 0 || act.WritebackFrom != -1 {
 			t.Errorf("self read produced traffic: %+v", act)
 		}
@@ -130,12 +130,31 @@ func TestRepeatedAccessIsQuiet(t *testing.T) {
 
 func TestCacheIDBounds(t *testing.T) {
 	d := NewDirectory()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range cache id accepted")
+	for _, id := range []int{-1, MaxCaches, MaxCaches + 7} {
+		if _, err := d.Read(1, id); err == nil {
+			t.Errorf("Read with cache id %d accepted", id)
 		}
-	}()
-	d.Read(1, MaxCaches)
+		if _, err := d.Write(1, id); err == nil {
+			t.Errorf("Write with cache id %d accepted", id)
+		}
+		if err := d.Evict(1, id); err == nil {
+			t.Errorf("Evict with cache id %d accepted", id)
+		}
+	}
+	// Rejected requests must not perturb state or counters.
+	if d.Lines() != 0 {
+		t.Errorf("rejected requests created %d directory entries", d.Lines())
+	}
+	if s := d.Stats(); s.Reads != 0 || s.Writes != 0 {
+		t.Errorf("rejected requests counted: %+v", s)
+	}
+	// The boundary IDs themselves work.
+	if _, err := d.Read(1, 0); err != nil {
+		t.Errorf("Read from cache 0: %v", err)
+	}
+	if _, err := d.Write(2, MaxCaches-1); err != nil {
+		t.Errorf("Write from cache %d: %v", MaxCaches-1, err)
+	}
 }
 
 // Protocol invariants under random operation sequences:
@@ -169,9 +188,9 @@ func TestMESIInvariantsProperty(t *testing.T) {
 			var act Action
 			switch (op >> 6) % 3 {
 			case 0:
-				act = d.Read(line, c)
+				act, _ = d.Read(line, c)
 			case 1:
-				act = d.Write(line, c)
+				act, _ = d.Write(line, c)
 			case 2:
 				d.Evict(line, c)
 				if m := shadow[line]; m != nil {

@@ -1,0 +1,237 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	data := []byte(`{
+		"seed": 7,
+		"molecule_failures": [{"at": 100, "molecule": 3}, {"at": 50, "molecule": 1}],
+		"line_corruptions": [{"at": 200, "molecule": 2, "line": 9}],
+		"noc_delays": [{"at": 300, "duration": 100, "extra_cycles": 8, "drop_attempts": 2}]
+	}`)
+	c, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 7 || len(c.MoleculeFailures) != 2 || len(c.LineCorruptions) != 1 || len(c.NoCDelays) != 1 {
+		t.Errorf("parsed campaign = %+v", c)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"seed": 1, "molecule_fail": [{"at": 1}]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown field accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsBadCampaigns(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Campaign
+	}{
+		{"negative molecule", Campaign{MoleculeFailures: []MoleculeFailure{{At: 1, Molecule: -1}}}},
+		{"negative line", Campaign{LineCorruptions: []LineCorruption{{At: 1, Molecule: 0, Line: -2}}}},
+		{"no-op delay", Campaign{NoCDelays: []NoCDelay{{At: 1}}}},
+		{"negative drops", Campaign{NoCDelays: []NoCDelay{{At: 1, ExtraCycles: 1, DropAttempts: -1}}}},
+		{"empty random window", Campaign{RandomMoleculeFailures: &RandomSpec{Count: 3, Start: 10, End: 10}}},
+		{"negative random count", Campaign{RandomLineCorruptions: &RandomSpec{Count: -1, Start: 0, End: 10}}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestDueEventsPopInOrderAndOnce(t *testing.T) {
+	inj, err := NewInjector(Campaign{
+		MoleculeFailures: []MoleculeFailure{
+			{At: 30, Molecule: 2}, {At: 10, Molecule: 0}, {At: 20, Molecule: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Materialize(8, 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.FailuresDue(5); got != nil {
+		t.Errorf("early pop = %v", got)
+	}
+	got := inj.FailuresDue(25)
+	if len(got) != 2 || got[0].Molecule != 0 || got[1].Molecule != 1 {
+		t.Errorf("due at 25 = %v", got)
+	}
+	if again := inj.FailuresDue(25); again != nil {
+		t.Errorf("events delivered twice: %v", again)
+	}
+	if rest := inj.FailuresDue(1000); len(rest) != 1 || rest[0].Molecule != 2 {
+		t.Errorf("final pop = %v", rest)
+	}
+	if inj.PendingFailures() != 0 || inj.ScheduledFailures() != 3 {
+		t.Errorf("pending=%d scheduled=%d", inj.PendingFailures(), inj.ScheduledFailures())
+	}
+	if s := inj.Stats(); s.MoleculeFailures != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRandomExpansionIsDeterministicAndDistinct(t *testing.T) {
+	c := Campaign{
+		Seed:                   99,
+		RandomMoleculeFailures: &RandomSpec{Count: 12, Start: 100, End: 5000},
+		RandomLineCorruptions:  &RandomSpec{Count: 20, Start: 0, End: 1000},
+	}
+	build := func() *Injector {
+		inj, err := NewInjector(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.Materialize(16, 128); err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.failures, b.failures) || !reflect.DeepEqual(a.corruptions, b.corruptions) {
+		t.Error("same seed produced different schedules")
+	}
+	seen := map[int]bool{}
+	for _, f := range a.failures {
+		if seen[f.Molecule] {
+			t.Errorf("molecule %d fails twice", f.Molecule)
+		}
+		seen[f.Molecule] = true
+		if f.At < 100 || f.At >= 5000 {
+			t.Errorf("failure at %d outside window", f.At)
+		}
+		if f.Molecule < 0 || f.Molecule >= 16 {
+			t.Errorf("failure targets molecule %d of 16", f.Molecule)
+		}
+	}
+	for _, l := range a.corruptions {
+		if l.Molecule >= 16 || l.Line >= 128 {
+			t.Errorf("corruption target (%d, %d) out of range", l.Molecule, l.Line)
+		}
+	}
+	// More random failures than molecules clamps to the population.
+	big, err := NewInjector(Campaign{RandomMoleculeFailures: &RandomSpec{Count: 50, Start: 0, End: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Materialize(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if big.ScheduledFailures() != 4 {
+		t.Errorf("clamped schedule = %d, want 4", big.ScheduledFailures())
+	}
+}
+
+func TestMaterializeDropsOutOfRangeTargets(t *testing.T) {
+	inj, err := NewInjector(Campaign{
+		MoleculeFailures: []MoleculeFailure{{At: 1, Molecule: 100}},
+		LineCorruptions:  []LineCorruption{{At: 1, Molecule: 0, Line: 500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Materialize(8, 16); err != nil {
+		t.Fatal(err)
+	}
+	if inj.ScheduledFailures() != 0 || len(inj.corruptions) != 0 {
+		t.Error("out-of-range targets kept")
+	}
+	if s := inj.Stats(); s.SkippedOutOfRange != 2 {
+		t.Errorf("skipped = %d, want 2", s.SkippedOutOfRange)
+	}
+	// Re-materializing is a no-op.
+	if err := inj.Materialize(1000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Materialized() {
+		t.Error("not materialized")
+	}
+	if err := inj.Materialize(0, 0); err != nil {
+		t.Error("idempotent call validated geometry")
+	}
+}
+
+func TestNoCDelayWindows(t *testing.T) {
+	inj, err := NewInjector(Campaign{NoCDelays: []NoCDelay{
+		{At: 100, Duration: 50, ExtraCycles: 4},
+		{At: 300, ExtraCycles: 2, DropAttempts: 1}, // zero duration = one access
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Materialize(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if d := inj.NoCDelayAt(99); d != nil {
+		t.Errorf("delay before window: %+v", d)
+	}
+	if d := inj.NoCDelayAt(100); d == nil || d.ExtraCycles != 4 {
+		t.Errorf("delay at window start = %+v", d)
+	}
+	if d := inj.NoCDelayAt(149); d == nil {
+		t.Error("no delay at window end-1")
+	}
+	if d := inj.NoCDelayAt(150); d != nil {
+		t.Errorf("delay past window: %+v", d)
+	}
+	if d := inj.NoCDelayAt(300); d == nil || d.DropAttempts != 1 {
+		t.Errorf("zero-duration window = %+v", d)
+	}
+	if d := inj.NoCDelayAt(301); d != nil {
+		t.Errorf("zero-duration window spans two accesses: %+v", d)
+	}
+	if s := inj.Stats(); s.NoCDelayedLookups != 3 {
+		t.Errorf("delayed lookups = %d, want 3", s.NoCDelayedLookups)
+	}
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if inj.FailuresDue(1) != nil || inj.CorruptionsDue(1) != nil || inj.NoCDelayAt(1) != nil {
+		t.Error("nil injector delivered faults")
+	}
+	if inj.Materialize(4, 4) != nil || inj.Materialized() || inj.PendingFailures() != 0 {
+		t.Error("nil injector not inert")
+	}
+	if inj.Stats() != (Stats{}) || inj.ScheduledFailures() != 0 {
+		t.Error("nil injector has state")
+	}
+}
+
+func TestMaterializeRejectsBadGeometry(t *testing.T) {
+	inj, err := NewInjector(Campaign{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Materialize(0, 16); err == nil {
+		t.Error("zero molecules accepted")
+	}
+	if err := inj.Materialize(16, 0); err == nil {
+		t.Error("zero lines accepted")
+	}
+}

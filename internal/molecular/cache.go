@@ -6,6 +6,7 @@ import (
 
 	"molcache/internal/addr"
 	"molcache/internal/engine"
+	"molcache/internal/faults"
 	"molcache/internal/noc"
 	"molcache/internal/rng"
 	"molcache/internal/stats"
@@ -126,6 +127,9 @@ type Cache struct {
 	cfg      Config
 	clusters []*Cluster
 	regions  map[uint16]*Region
+	// molsByID indexes every molecule by its global ID (fault targeting
+	// and invariant capture).
+	molsByID []*Molecule
 
 	linesPerMol uint64
 	clock       uint64 // logical time for LRU-Direct
@@ -146,6 +150,11 @@ type Cache struct {
 	tracer *telemetry.Tracer
 	reg    *telemetry.Registry
 	ins    *instruments
+
+	// faults, when attached, schedules hard failures, corruptions and
+	// NoC delays against the access count; deg counts what was absorbed.
+	faults *faults.Injector
+	deg    DegradationStats
 
 	src *rng.Source
 }
@@ -183,6 +192,7 @@ func New(cfg Config) (*Cache, error) {
 				molID++
 				t.molecules = append(t.molecules, m)
 				t.free = append(t.free, m)
+				c.molsByID = append(c.molsByID, m)
 			}
 			cl.tiles = append(cl.tiles, t)
 		}
@@ -452,12 +462,29 @@ func (c *Cache) Rebalance(r *Region) bool {
 func (c *Cache) Access(ref trace.Ref) engine.Result {
 	c.clock++
 	c.addresses++
+	if c.faults != nil {
+		c.applyScheduledFaults()
+	}
 	r := c.regions[ref.ASID]
 	if r == nil {
 		var err error
 		r, err = c.CreateRegion(ref.ASID, RegionOptions{HomeCluster: -1, HomeTile: -1})
 		if err != nil {
-			panic(fmt.Sprintf("molecular: auto-admit of ASID %d failed: %v", ref.ASID, err))
+			// Auto-admit can fail once degradation has exhausted the
+			// placement space; serve the access uncached instead of dying.
+			res := engine.Result{}
+			c.ledger.Record(ref.ASID, false)
+			c.global.Record(false)
+			c.probes.Observe(0)
+			c.deg.UncachedBypasses++
+			if c.ins != nil {
+				c.ins.misses.Inc()
+				c.ins.bypasses.Inc()
+			}
+			if c.tracer != nil {
+				c.tracer.Access(c.addresses, ref.ASID, ref.Addr, false, false, 0, 0)
+			}
+			return res
 		}
 	}
 	block := ref.Addr / c.cfg.LineSize
@@ -479,6 +506,7 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 	// contribute to the application's region (or hold shared-bit
 	// molecules, which serve every ASID).
 	shared := c.regions[SharedASID]
+	unreachable := false
 	for _, t := range r.home.cluster.tiles {
 		if t == r.home {
 			continue
@@ -486,10 +514,11 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 		if len(r.byTile[t]) == 0 && (shared == nil || len(shared.byTile[t]) == 0) {
 			continue
 		}
-		if c.mesh != nil {
-			if lat, err := c.mesh.Traverse(r.home.id, t.id); err == nil {
-				c.remoteCycles += lat
-			}
+		if !c.ulmoTraverse(r.home.id, t.id) {
+			// The delay fault outlasted the Ulmo's retry budget: this
+			// tile's molecules are unreachable for the current access.
+			unreachable = true
+			continue
 		}
 		if hit, probes := c.probeTile(r, t, ref.ASID, block, write); hit {
 			res.Hit = true
@@ -510,6 +539,19 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 	}
 
 	// Miss: fetch lineFactor lines into the policy's victim molecule.
+	if r.count == 0 {
+		// Every molecule was retired out from under the region; try to
+		// re-grow from healthy spares now rather than waiting for the
+		// next resize epoch, and serve uncached if none exist.
+		if got, _ := c.Grow(r, 1); got == 0 {
+			return c.bypassMiss(r, ref, res)
+		}
+	}
+	if unreachable {
+		// A contributing tile never answered, so the line may still be
+		// resident there; filling now could duplicate it. Serve uncached.
+		return c.bypassMiss(r, ref, res)
+	}
 	victim := r.victim(ref.Addr, block)
 	if r.lineFactor > 1 {
 		// The group companions may already be resident in sibling
@@ -708,13 +750,29 @@ func (c *Cache) AverageProbes() float64 { return c.probes.Mean() }
 func (c *Cache) CheckInvariants() error {
 	owned := make(map[int]uint16)
 	free := make(map[int]bool)
+	failed := 0
 	for _, cl := range c.clusters {
 		for _, t := range cl.tiles {
 			for _, m := range t.free {
 				if m.owned {
 					return fmt.Errorf("molecule %d on free list but owned", m.id)
 				}
+				if m.failed {
+					return fmt.Errorf("molecule %d on free list but retired", m.id)
+				}
 				free[m.id] = true
+			}
+			for _, m := range t.molecules {
+				if !m.failed {
+					continue
+				}
+				failed++
+				if m.owned {
+					return fmt.Errorf("molecule %d retired but still owned", m.id)
+				}
+				if n := m.validLines(); n != 0 {
+					return fmt.Errorf("molecule %d retired but holds %d lines", m.id, n)
+				}
 			}
 		}
 	}
@@ -746,8 +804,17 @@ func (c *Cache) CheckInvariants() error {
 		}
 		total += r.count
 	}
-	if total+len(free) != c.TotalMolecules() {
-		return fmt.Errorf("owned %d + free %d != total %d", total, len(free), c.TotalMolecules())
+	if total+len(free)+failed != c.TotalMolecules() {
+		return fmt.Errorf("owned %d + free %d + retired %d != total %d",
+			total, len(free), failed, c.TotalMolecules())
 	}
 	return nil
+}
+
+// Molecule returns the molecule with the given global ID, or nil.
+func (c *Cache) Molecule(id int) *Molecule {
+	if id < 0 || id >= len(c.molsByID) {
+		return nil
+	}
+	return c.molsByID[id]
 }

@@ -42,6 +42,9 @@ type Molecule struct {
 	shared bool
 	// owned reports whether the molecule currently belongs to a region.
 	owned bool
+	// failed marks a hard-failed (retired) molecule: it belongs to no
+	// region, sits on no free list, and is never allocated again.
+	failed bool
 	// row is the molecule's row in its region's replacement view
 	// (meaningful only while owned).
 	row int
@@ -67,6 +70,24 @@ func (m *Molecule) ASID() uint16 { return m.asid }
 
 // Shared reports whether the shared bit is set.
 func (m *Molecule) Shared() bool { return m.shared }
+
+// Owned reports whether the molecule currently belongs to a region.
+func (m *Molecule) Owned() bool { return m.owned }
+
+// Failed reports whether the molecule has been retired by a hard fault.
+func (m *Molecule) Failed() bool { return m.failed }
+
+// ValidBlocks returns the block numbers of every resident line (the
+// invariant checker's and retirement path's view of the contents).
+func (m *Molecule) ValidBlocks() []uint64 {
+	var out []uint64
+	for i := range m.lines {
+		if m.lines[i].valid {
+			out = append(out, m.lines[i].tag)
+		}
+	}
+	return out
+}
 
 // Row returns the replacement-view row (only meaningful while owned).
 func (m *Molecule) Row() int { return m.row }
@@ -154,6 +175,17 @@ func (m *Molecule) invalidate(block uint64) (present, dirty bool) {
 		return true, d
 	}
 	return false, false
+}
+
+// corrupt drops the line in slot idx (an uncorrectable-ECC transient
+// fault). It reports whether a valid line was lost and whether the lost
+// copy was dirty — dirty loss is silent data loss, since the writeback
+// that would have preserved it never happens.
+func (m *Molecule) corrupt(idx int) (wasValid, wasDirty bool) {
+	ln := &m.lines[idx]
+	wasValid, wasDirty = ln.valid, ln.valid && ln.dirty
+	*ln = molLine{}
+	return wasValid, wasDirty
 }
 
 // contains reports whether block is resident, without updating state.

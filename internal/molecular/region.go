@@ -83,6 +83,29 @@ func (r *Region) Rows() []int {
 	return out
 }
 
+// RowMolecules returns the replacement view's members as molecule IDs,
+// row-major — the invariant checker's view of the 2-D matrix.
+func (r *Region) RowMolecules() [][]int {
+	out := make([][]int, len(r.rows))
+	for i, row := range r.rows {
+		out[i] = make([]int, len(row))
+		for j, m := range row {
+			out[i][j] = m.id
+		}
+	}
+	return out
+}
+
+// TileCounts returns the region's molecule count per physical tile ID
+// (the byTile index the hierarchical lookup walks).
+func (r *Region) TileCounts() map[int]int {
+	out := make(map[int]int, len(r.byTile))
+	for t, ms := range r.byTile {
+		out[t.id] = len(ms)
+	}
+	return out
+}
+
 // RowMissCounts returns the per-row replacement counts for this epoch.
 func (r *Region) RowMissCounts() []uint64 {
 	out := make([]uint64, len(r.rowMiss))

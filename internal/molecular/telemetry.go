@@ -20,6 +20,15 @@ type instruments struct {
 	grows        *telemetry.Counter
 	shrinks      *telemetry.Counter
 	rebalances   *telemetry.Counter
+
+	// Fault-injection and graceful-degradation counters.
+	retirements      *telemetry.Counter
+	retireWritebacks *telemetry.Counter
+	corruptions      *telemetry.Counter
+	dirtyCorruptions *telemetry.Counter
+	nocRetries       *telemetry.Counter
+	nocAbandoned     *telemetry.Counter
+	bypasses         *telemetry.Counter
 }
 
 // AttachTelemetry routes the cache's observations through a tracer
@@ -46,9 +55,19 @@ func (c *Cache) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 		grows:        reg.Counter("molcache_molecular_grow_molecules_total"),
 		shrinks:      reg.Counter("molcache_molecular_shrink_molecules_total"),
 		rebalances:   reg.Counter("molcache_molecular_rebalances_total"),
+
+		retirements:      reg.Counter("molcache_fault_retired_molecules_total"),
+		retireWritebacks: reg.Counter("molcache_fault_retirement_writebacks_total"),
+		corruptions:      reg.Counter("molcache_fault_line_corruptions_total"),
+		dirtyCorruptions: reg.Counter("molcache_fault_dirty_corruptions_total"),
+		nocRetries:       reg.Counter("molcache_fault_noc_retries_total"),
+		nocAbandoned:     reg.Counter("molcache_fault_noc_abandoned_lookups_total"),
+		bypasses:         reg.Counter("molcache_fault_uncached_bypasses_total"),
 	}
 	reg.RegisterGaugeFunc("molcache_molecular_free_molecules",
 		func() float64 { return float64(c.FreeMolecules()) })
+	reg.RegisterGaugeFunc("molcache_fault_retired_molecules",
+		func() float64 { return float64(c.deg.RetiredMolecules) })
 	reg.RegisterGaugeFunc("molcache_molecular_miss_rate",
 		func() float64 { return c.ledger.Total.MissRate() })
 	reg.RegisterGaugeFunc("molcache_molecular_avg_probes_per_access",

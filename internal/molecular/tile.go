@@ -24,6 +24,12 @@ func (t *Tile) Molecules() []*Molecule { return t.molecules }
 // FreeCount returns the number of unassigned molecules.
 func (t *Tile) FreeCount() int { return len(t.free) }
 
+// FreeList returns a copy of the tile's free pool (the invariant
+// checker's view of free-list membership).
+func (t *Tile) FreeList() []*Molecule {
+	return append([]*Molecule(nil), t.free...)
+}
+
 // takeFree removes and returns one free molecule, or nil when empty.
 func (t *Tile) takeFree() *Molecule {
 	if len(t.free) == 0 {
@@ -35,7 +41,9 @@ func (t *Tile) takeFree() *Molecule {
 }
 
 // release returns a withdrawn molecule to the tile's free pool. The
-// caller must already have flushed and disowned it.
+// caller must already have flushed and disowned it. A failed molecule
+// is never pooled again: releasing one is a silent no-op, so every
+// withdrawal path degrades gracefully around retired hardware.
 func (t *Tile) release(m *Molecule) {
 	if m.tile != t {
 		panic(fmt.Sprintf("molecular: molecule %d released to foreign tile %d", m.id, t.id))
@@ -43,7 +51,23 @@ func (t *Tile) release(m *Molecule) {
 	if m.owned {
 		panic(fmt.Sprintf("molecular: molecule %d released while still owned", m.id))
 	}
+	if m.failed {
+		return
+	}
 	t.free = append(t.free, m)
+}
+
+// removeFree withdraws a specific molecule from the free pool (the
+// retirement path for molecules that fail while unassigned). Reports
+// whether it was found.
+func (t *Tile) removeFree(m *Molecule) bool {
+	for i, x := range t.free {
+		if x == m {
+			t.free = append(t.free[:i], t.free[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Cluster is a group of tiles governed by one Ulmo controller. The Ulmo

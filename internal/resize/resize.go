@@ -112,6 +112,9 @@ func (c Config) Validate() error {
 	if c.MinPeriod > c.MaxPeriod {
 		return fmt.Errorf("resize: MinPeriod %d > MaxPeriod %d", c.MinPeriod, c.MaxPeriod)
 	}
+	if c.MaxAllocation < 0 {
+		return fmt.Errorf("resize: negative MaxAllocation %d", c.MaxAllocation)
+	}
 	return nil
 }
 
@@ -281,7 +284,9 @@ func (c *Controller) Tick() bool {
 		}
 		return fired
 	default:
-		panic("resize: unreachable trigger " + string(c.cfg.Trigger))
+		// An unknown trigger is rejected by Config.Validate; a controller
+		// built around validation simply never fires.
+		return false
 	}
 }
 
@@ -433,9 +438,11 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		if s.maxAlloc < 1 {
 			s.maxAlloc = 1
 		}
+		// Grow only errors on a negative count, which maxAlloc (>= 1 by
+		// the clamp above) never is; treat a failure as zero obtained.
 		got, err := c.cache.Grow(r, s.maxAlloc)
 		if err != nil {
-			panic(err)
+			got = 0
 		}
 		if got > 0 {
 			s.lastAlloc = got
@@ -489,7 +496,7 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		if delta > 0 {
 			got, err := c.cache.Grow(r, delta)
 			if err != nil {
-				panic(err)
+				got = 0
 			}
 			if got > 0 {
 				s.lastAlloc = got

@@ -62,7 +62,21 @@ const (
 	KindInvalidate
 	// KindDowngrade is a coherence M/E -> S demotion of a peer's copy.
 	KindDowngrade
+	// KindMoleculeRetire is a hard molecule failure: the molecule was
+	// flushed, withdrawn from its region and permanently retired. Value
+	// is the molecule ID, Aux the owning region's size after.
+	KindMoleculeRetire
+	// KindLineCorrupt is a transient line corruption (the line was
+	// dropped); Value is the molecule ID, Aux is 1 when the lost copy
+	// was dirty (silent data loss).
+	KindLineCorrupt
+	// KindNoCFault is a degraded remote lookup: Value is the retry
+	// count paid, Aux is 1 when the lookup was abandoned entirely.
+	KindNoCFault
 )
+
+// kindLast is the highest defined kind (keeps UnmarshalJSON exhaustive).
+const kindLast = KindNoCFault
 
 // String names the kind for logs and JSON.
 func (k Kind) String() string {
@@ -85,6 +99,12 @@ func (k Kind) String() string {
 		return "invalidate"
 	case KindDowngrade:
 		return "downgrade"
+	case KindMoleculeRetire:
+		return "molecule-retire"
+	case KindLineCorrupt:
+		return "line-corrupt"
+	case KindNoCFault:
+		return "noc-fault"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -101,7 +121,7 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
 		s = s[1 : len(s)-1]
 	}
-	for c := KindAccess; c <= KindDowngrade; c++ {
+	for c := KindAccess; c <= kindLast; c++ {
 		if c.String() == s {
 			*k = c
 			return nil

@@ -31,6 +31,8 @@ import (
 	"molcache/internal/cache"
 	"molcache/internal/cmp"
 	"molcache/internal/engine"
+	"molcache/internal/faults"
+	"molcache/internal/invariant"
 	"molcache/internal/metrics"
 	"molcache/internal/molecular"
 	"molcache/internal/noc"
@@ -149,6 +151,37 @@ type (
 	MetricsSnapshot = telemetry.Snapshot
 	// ProfileConfig wires -cpuprofile / -memprofile / -trace flags.
 	ProfileConfig = telemetry.ProfileConfig
+
+	// FaultCampaign is a deterministic schedule of hardware faults
+	// (molecule failures, line corruptions, NoC delays) keyed to the
+	// cache's access count. Parsable from JSON.
+	FaultCampaign = faults.Campaign
+	// FaultInjector delivers a materialized campaign to the cache.
+	FaultInjector = faults.Injector
+	// FaultStats counts delivered faults per class.
+	FaultStats = faults.Stats
+	// MoleculeFailure is a scheduled permanent molecule failure.
+	MoleculeFailure = faults.MoleculeFailure
+	// LineCorruption is a scheduled transient line corruption.
+	LineCorruption = faults.LineCorruption
+	// NoCDelay is a window of delayed/dropped interconnect responses.
+	NoCDelay = faults.NoCDelay
+	// FaultRandomSpec expands into seeded-random fault events.
+	FaultRandomSpec = faults.RandomSpec
+	// DegradationStats counts the cache's graceful-degradation actions
+	// (retirements, writebacks, NoC retries, uncached bypasses).
+	DegradationStats = molecular.DegradationStats
+	// RetireReport describes one molecule retirement.
+	RetireReport = molecular.RetireReport
+
+	// InvariantSnapshot is a pure-data capture of simulator state for
+	// auditing.
+	InvariantSnapshot = invariant.Snapshot
+	// InvariantViolation is one broken structural invariant.
+	InvariantViolation = invariant.Violation
+	// InvariantChecker audits a snapshot source every N ticks or on
+	// demand.
+	InvariantChecker = invariant.Checker
 )
 
 // Reference kinds.
@@ -194,6 +227,9 @@ const (
 	KindResize          = telemetry.KindResize
 	KindInvalidate      = telemetry.KindInvalidate
 	KindDowngrade       = telemetry.KindDowngrade
+	KindMoleculeRetire  = telemetry.KindMoleculeRetire
+	KindLineCorrupt     = telemetry.KindLineCorrupt
+	KindNoCFault        = telemetry.KindNoCFault
 )
 
 // Tech70 is the paper's 70 nm process model.
@@ -303,6 +339,46 @@ func ParseMetricsPrometheus(r io.Reader) (MetricsSnapshot, error) {
 	return telemetry.ParsePrometheus(r)
 }
 
+// ParseFaultCampaign parses a JSON fault campaign (unknown fields are
+// rejected).
+func ParseFaultCampaign(data []byte) (FaultCampaign, error) {
+	return faults.Parse(data)
+}
+
+// LoadFaultCampaign reads and parses a JSON fault campaign file.
+func LoadFaultCampaign(path string) (FaultCampaign, error) {
+	return faults.Load(path)
+}
+
+// NewFaultInjector validates a campaign and prepares it for delivery;
+// attach it with MolecularCache.AttachFaults or Simulator.InjectFaults.
+func NewFaultInjector(c FaultCampaign) (*FaultInjector, error) {
+	return faults.NewInjector(c)
+}
+
+// CaptureInvariants snapshots a molecular cache's structural state for
+// invariant checking.
+func CaptureInvariants(c *MolecularCache) InvariantSnapshot {
+	return invariant.CaptureCache(c)
+}
+
+// CheckInvariants audits a snapshot and returns every violation found.
+func CheckInvariants(s InvariantSnapshot) []InvariantViolation {
+	return invariant.Check(s)
+}
+
+// NewInvariantChecker audits a molecular cache every `every` ticks
+// (0 disables periodic audits; Run audits on demand).
+func NewInvariantChecker(c *MolecularCache, every uint64) *InvariantChecker {
+	return invariant.NewChecker(invariant.CacheSource(c), every)
+}
+
+// NewSystemInvariantChecker audits a whole CMP — the shared L2's
+// structure plus MESI directory/L1 agreement.
+func NewSystemInvariantChecker(sys *System, every uint64) *InvariantChecker {
+	return invariant.NewChecker(invariant.SystemSource(sys), every)
+}
+
 // NewMemorySink buffers traced events in memory.
 func NewMemorySink() *MemorySink { return telemetry.NewMemorySink() }
 
@@ -336,6 +412,42 @@ func NewSimulator(mcfg MolecularConfig, rcfg ResizeConfig) (*Simulator, error) {
 func (s *Simulator) AttachTelemetry(tr *Tracer, reg *Registry) {
 	s.Cache.AttachTelemetry(tr, reg)
 	s.Controller.AttachTelemetry(tr, reg)
+}
+
+// InjectFaults attaches a fault campaign to the simulator's cache.
+// Scheduled faults are delivered as the access count advances; failed
+// molecules are retired (lines written back and invalidated) and the
+// next resize epoch re-grows the shrunken regions from healthy spares.
+// A zero-value campaign detaches fault injection.
+func (s *Simulator) InjectFaults(c FaultCampaign) error {
+	var inj *FaultInjector
+	if c.Seed != 0 || len(c.MoleculeFailures) > 0 || len(c.LineCorruptions) > 0 ||
+		len(c.NoCDelays) > 0 || c.RandomMoleculeFailures != nil ||
+		c.RandomLineCorruptions != nil {
+		var err error
+		if inj, err = faults.NewInjector(c); err != nil {
+			return err
+		}
+	}
+	return s.Cache.AttachFaults(inj)
+}
+
+// FaultStats reports delivered fault counts, or a zero value when no
+// campaign is attached.
+func (s *Simulator) FaultStats() FaultStats {
+	if inj := s.Cache.Faults(); inj != nil {
+		return inj.Stats()
+	}
+	return FaultStats{}
+}
+
+// Degradation reports the cache's graceful-degradation counters.
+func (s *Simulator) Degradation() DegradationStats { return s.Cache.Degradation() }
+
+// CheckInvariants audits the simulator's structural invariants on
+// demand and returns every violation found (nil when healthy).
+func (s *Simulator) CheckInvariants() []InvariantViolation {
+	return invariant.Check(invariant.CaptureCache(s.Cache))
 }
 
 // Access applies one reference and runs the resize trigger.

@@ -175,3 +175,51 @@ func TestFacadeMeshAndProfiler(t *testing.T) {
 		t.Errorf("oracle allocated %d lines, want >= the 64-line working set", alloc.Lines[1])
 	}
 }
+
+func TestFacadeFaultsAndInvariants(t *testing.T) {
+	sim, err := molcache.NewSimulator(
+		molcache.MolecularConfig{TotalSize: 1 << 20, Seed: 1},
+		molcache.ResizeConfig{DefaultGoal: 0.10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.InjectFaults(molcache.FaultCampaign{
+		Seed: 7,
+		MoleculeFailures: []molcache.MoleculeFailure{
+			{At: 1000, Molecule: 0},
+			{At: 2000, Molecule: 1},
+		},
+		RandomMoleculeFailures: &molcache.FaultRandomSpec{Count: 3, Start: 3000, End: 8000},
+		NoCDelays: []molcache.NoCDelay{
+			{At: 4000, Duration: 500, ExtraCycles: 5, DropAttempts: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		a := uint64(i%4096) * 64
+		sim.Access(molcache.Ref{Addr: a, ASID: 1, Kind: molcache.Read})
+		sim.Access(molcache.Ref{Addr: 1<<36 + a, ASID: 2, Kind: molcache.Write})
+	}
+	if got := sim.FaultStats().MoleculeFailures; got != 5 {
+		t.Errorf("delivered %d molecule failures, want 5", got)
+	}
+	if got := sim.Degradation().RetiredMolecules; got != 5 {
+		t.Errorf("retired %d molecules, want 5", got)
+	}
+	if vs := sim.CheckInvariants(); len(vs) != 0 {
+		t.Errorf("invariant violations after faulted run: %v", vs)
+	}
+	if err := sim.Cache.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Detach: the zero campaign removes injection.
+	if err := sim.InjectFaults(molcache.FaultCampaign{}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cache.Faults() != nil {
+		t.Error("zero campaign did not detach the injector")
+	}
+}

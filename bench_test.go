@@ -130,7 +130,7 @@ func BenchmarkTable5(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table5(t2, t4)
+		rows, err := experiments.Table5(benchOpts, t2, t4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,6 +157,43 @@ func BenchmarkHeadline(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(h.AdvantagePct, "power-advantage-%")
+	}
+}
+
+// benchSweepOpts is a reduced reference sweep for the scheduler benches:
+// a 12-point grid over one captured trace. Jobs is set per benchmark.
+func benchSweepOpts(jobs int) experiments.SweepOptions {
+	return experiments.SweepOptions{
+		ProcessorRefs: 1_000_000,
+		Seed:          2006,
+		Sizes:         []uint64{1 * addr.MB, 2 * addr.MB},
+		MoleculeSizes: []uint64{8 * addr.KB, 16 * addr.KB},
+		Policies: []molecular.ReplacementKind{
+			molecular.RandomReplacement, molecular.RandyReplacement, molecular.LRUDirect,
+		},
+		Jobs: jobs,
+	}
+}
+
+// BenchmarkSweepSerial runs the reference sweep with the worker pool in
+// serial mode (-jobs 1): the byte-identical baseline.
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sweep(benchSweepOpts(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same sweep fanned across GOMAXPROCS
+// workers. Compare ns/op against BenchmarkSweepSerial for the wall-clock
+// speedup (the trace capture is serial in both, so the ratio understates
+// the replay phase's scaling).
+func BenchmarkSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sweep(benchSweepOpts(0)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

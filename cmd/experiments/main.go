@@ -4,23 +4,22 @@
 // Usage:
 //
 //	experiments [-run all|table1|figure5|related|table2|figure6|table4|table5|headline]
-//	            [-refs N] [-seed S]
+//	            [-refs N] [-seed S] [-jobs N]
 //
 // -refs is the number of processor-side references driven through the
 // CMP substrate per experiment (default 48M, which yields L2 traces of
-// roughly the paper's 3.9M-reference scale).
+// roughly the paper's 3.9M-reference scale). -jobs fans each
+// experiment's independent simulation points across workers; the output
+// is byte-identical at any worker count.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"strings"
 
-	"molcache/internal/addr"
 	"molcache/internal/experiments"
-	"molcache/internal/tabletext"
 	"molcache/internal/telemetry"
 )
 
@@ -30,6 +29,7 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, table1, figure5, related, table2, figure6, table4, table5, headline")
 	refs := flag.Int("refs", 0, "processor references per experiment (0 = default 48M)")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	jobs := flag.Int("jobs", 0, "parallel simulation jobs per experiment (0 = GOMAXPROCS, 1 = serial)")
 	var prof telemetry.ProfileConfig
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -44,7 +44,7 @@ func main() {
 		}
 	}()
 
-	opt := experiments.Options{ProcessorRefs: *refs, Seed: *seed}
+	opt := experiments.Options{ProcessorRefs: *refs, Seed: *seed, Jobs: *jobs}
 	want := strings.ToLower(*run)
 	valid := map[string]bool{
 		"all": true, "table1": true, "figure5": true, "table2": true,
@@ -57,13 +57,25 @@ func main() {
 	all := want == "all"
 
 	if all || want == "table1" {
-		runTable1(opt)
+		rows, err := experiments.Table1(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderTable1(os.Stdout, rows)
 	}
 	if all || want == "figure5" {
-		runFigure5(opt)
+		points, err := experiments.Figure5(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderFigure5(os.Stdout, points)
 	}
 	if all || want == "related" {
-		runRelated(opt)
+		rows, err := experiments.RelatedWork(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.RenderRelatedWork(os.Stdout, rows)
 	}
 	// table2 feeds figure6, table4, table5 and the headline; compute it
 	// once when any of them is requested.
@@ -77,10 +89,10 @@ func main() {
 		log.Fatal(err)
 	}
 	if all || want == "table2" {
-		renderTable2(t2)
+		experiments.RenderTable2(os.Stdout, t2)
 	}
 	if all || want == "figure6" {
-		renderFigure6(experiments.Figure6(t2))
+		experiments.RenderFigure6(os.Stdout, experiments.Figure6(t2))
 	}
 	needT4 := all || want == "table4" || want == "table5" || want == "headline"
 	if !needT4 {
@@ -91,161 +103,20 @@ func main() {
 		log.Fatal(err)
 	}
 	if all || want == "table4" {
-		renderTable4(t4)
+		experiments.RenderTable4(os.Stdout, t4)
 	}
 	if all || want == "table5" {
-		t5, err := experiments.Table5(t2, t4)
+		t5, err := experiments.Table5(opt, t2, t4)
 		if err != nil {
 			log.Fatal(err)
 		}
-		renderTable5(t5)
+		experiments.RenderTable5(os.Stdout, t5)
 	}
 	if all || want == "headline" {
 		h, err := experiments.ComputeHeadline(t2, t4)
 		if err != nil {
 			log.Fatal(err)
 		}
-		renderHeadline(h)
+		experiments.RenderHeadline(os.Stdout, h)
 	}
-}
-
-func runRelated(opt experiments.Options) {
-	rows, err := experiments.RelatedWork(opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t := tabletext.New(
-		"Related-work comparison (2MB, 10% goal on art/ammp/parser; schemes from the paper's section 2)",
-		"scheme", "avg deviation", "art", "mcf", "ammp", "parser",
-	)
-	for _, r := range rows {
-		t.AddRow(r.Name,
-			fmt.Sprintf("%.4f", r.Deviation),
-			fmt.Sprintf("%.3f", r.PerAppMiss["art"]),
-			fmt.Sprintf("%.3f", r.PerAppMiss["mcf"]),
-			fmt.Sprintf("%.3f", r.PerAppMiss["ammp"]),
-			fmt.Sprintf("%.3f", r.PerAppMiss["parser"]))
-	}
-	fmt.Println(t)
-}
-
-func runTable1(opt experiments.Options) {
-	rows, err := experiments.Table1(opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t := tabletext.New(
-		"Table 1: miss rate depends on the co-scheduled benchmarks (shared 1MB 4-way L2)",
-		"workload", "miss rate of app1", "miss rate of app2",
-	)
-	for _, r := range rows {
-		cells := []string{strings.Join(r.Apps, " + ")}
-		for i, app := range r.Apps {
-			if i >= 2 {
-				break
-			}
-			cells = append(cells, fmt.Sprintf("%s=%.3f", app, r.MissRate[app]))
-		}
-		if len(r.Apps) > 2 {
-			// The all-four row: list every rate in column 2.
-			var parts []string
-			for _, app := range r.Apps {
-				parts = append(parts, fmt.Sprintf("%s=%.3f", app, r.MissRate[app]))
-			}
-			cells = []string{strings.Join(r.Apps, "+"), strings.Join(parts, " "), ""}
-		}
-		t.AddRow(cells...)
-	}
-	fmt.Println(t)
-}
-
-func runFigure5(opt experiments.Options) {
-	points, err := experiments.Figure5(opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var sizes []string
-	for _, s := range experiments.Figure5Sizes {
-		sizes = append(sizes, addr.Bytes(s))
-	}
-	graphA := tabletext.NewSeries(
-		"Figure 5 Graph A: average deviation from 10% miss-rate goal (all four benchmarks)",
-		"size", sizes...)
-	graphB := tabletext.NewSeries(
-		"Figure 5 Graph B: average deviation from 10% miss-rate goal (art, ammp, parser)",
-		"size", sizes...)
-	idx := map[uint64]int{}
-	for i, s := range experiments.Figure5Sizes {
-		idx[s] = i
-	}
-	for _, p := range points {
-		graphA.Set(p.Config, idx[p.Size], p.DeviationA)
-		graphB.Set(p.Config, idx[p.Size], p.DeviationB)
-	}
-	fmt.Println(graphA)
-	fmt.Println(graphB)
-}
-
-func renderTable2(t2 *experiments.Table2Result) {
-	t := tabletext.New(
-		"Table 2: average deviation from the 25% miss-rate goal (12-benchmark mix)",
-		"cache type", "average deviation",
-	)
-	for _, r := range t2.Rows {
-		t.AddRowf(r.Name, r.Deviation)
-	}
-	fmt.Println(t)
-}
-
-func renderFigure6(f6 *experiments.Figure6Result) {
-	randy := tabletext.NewBarChart(
-		"Figure 6: hit rate contribution per molecule (log scale) - Randy", true, 46)
-	random := tabletext.NewBarChart(
-		"Figure 6: hit rate contribution per molecule (log scale) - Random", true, 46)
-	for _, r := range f6.Rows {
-		randy.Add(r.Benchmark, r.RandyHPM)
-		random.Add(r.Benchmark, r.RandomHPM)
-	}
-	fmt.Println(randy)
-	fmt.Println(random)
-	fmt.Printf("aggregate: %s\n\n", f6)
-}
-
-func renderTable4(t4 *experiments.Table4Result) {
-	fmt.Println("Table 3 configuration: 8MB molecular, 8KB molecules, 512KB tiles,")
-	fmt.Println("4 tile-clusters x 4 tiles, 1 port per cluster; traditional: 8MB, 4 ports.")
-	fmt.Printf("Measured mixed-workload average probes/access: %.1f molecules\n\n", t4.AvgProbes)
-	t := tabletext.New(
-		"Table 4: power at 70nm (molecular compared at each traditional frequency)",
-		"cache type", "freq (MHz)", "power (W)", "mol. worst case (W)", "mol. average (W)",
-	)
-	for _, r := range t4.Rows {
-		t.AddRow(r.Name,
-			fmt.Sprintf("%.0f", r.FreqMHz),
-			fmt.Sprintf("%.2f", r.PowerW),
-			fmt.Sprintf("%.2f", r.MolWorstW),
-			fmt.Sprintf("%.2f", r.MolAvgW))
-	}
-	fmt.Println(t)
-}
-
-func renderTable5(rows []experiments.Table5Row) {
-	t := tabletext.New(
-		"Table 5: power-deviation product (vs 6MB Molecular Randy)",
-		"cache type", "power-deviation product", "molecular power-deviation product",
-	)
-	for _, r := range rows {
-		t.AddRow(r.Name, fmt.Sprintf("%.3f", r.TradPD), fmt.Sprintf("%.3f", r.MolPD))
-	}
-	fmt.Println(t)
-}
-
-func renderHeadline(h *experiments.Headline) {
-	fmt.Printf("Headline: vs the equivalently performing traditional cache (%s,\n", h.Baseline)
-	fmt.Printf("deviation %.3f vs molecular %.3f), the molecular cache draws %.2f W\n",
-		h.BaselineDev, h.MolecularDev, h.MolecularW)
-	fmt.Printf("against %.2f W at the same frequency: a %.1f%% power advantage\n",
-		h.BaselineW, h.AdvantagePct)
-	fmt.Printf("(the paper reports 29%%).\n")
-	os.Stdout.Sync()
 }

@@ -7,27 +7,20 @@
 // Usage:
 //
 //	sweep -refs 16000000 > sweep.csv
-//	sweep -sizes 2MB,4MB -molecules 8KB,32KB -policies Randy
+//	sweep -sizes 2MB,4MB -molecules 8KB,32KB -policies Randy -jobs 8
+//
+// -jobs fans the grid points across workers; the CSV is byte-identical
+// at any worker count (rows stay in grid order).
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
-	"molcache/internal/addr"
-	"molcache/internal/cache"
-	"molcache/internal/cmp"
-	"molcache/internal/metrics"
-	"molcache/internal/molecular"
-	"molcache/internal/resize"
+	"molcache/internal/experiments"
 	"molcache/internal/telemetry"
-	"molcache/internal/trace"
-	"molcache/internal/workload"
 )
 
 func main() {
@@ -40,6 +33,7 @@ func main() {
 	polsF := flag.String("policies", "Random,Randy,LRU-Direct", "replacement policies to sweep")
 	lfF := flag.String("linefactors", "1", "line factors (lines per miss) to sweep")
 	seed := flag.Uint64("seed", 2006, "simulation seed")
+	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := flag.String("metrics", "", "write a final metrics snapshot (Prometheus text) to this file")
 	var prof telemetry.ProfileConfig
 	prof.RegisterFlags(flag.CommandLine)
@@ -66,173 +60,38 @@ func main() {
 		}()
 	}
 
-	sizes, err := parseSizes(*sizesF)
+	opt := experiments.SweepOptions{
+		ProcessorRefs: *refs,
+		Seed:          *seed,
+		Goal:          *goal,
+		Jobs:          *jobs,
+		Registry:      reg,
+	}
+	if opt.Sizes, err = experiments.ParseSizes(*sizesF); err != nil {
+		log.Fatal(err)
+	}
+	if opt.MoleculeSizes, err = experiments.ParseSizes(*molsF); err != nil {
+		log.Fatal(err)
+	}
+	if opt.Policies, err = experiments.ParsePolicies(*polsF); err != nil {
+		log.Fatal(err)
+	}
+	if opt.LineFactors, err = experiments.ParseInts(*lfF); err != nil {
+		log.Fatal(err)
+	}
+
+	rows, err := experiments.Sweep(opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	molecules, err := parseSizes(*molsF)
-	if err != nil {
+	for _, r := range rows {
+		if r.Skip != nil {
+			// Infeasible geometry (e.g. molecule > tile): skipped,
+			// noted on stderr.
+			fmt.Fprintf(os.Stderr, "skip %s: %v\n", r.Point(), r.Skip)
+		}
+	}
+	if err := experiments.WriteSweepCSV(os.Stdout, rows); err != nil {
 		log.Fatal(err)
 	}
-	policies, err := parsePolicies(*polsF)
-	if err != nil {
-		log.Fatal(err)
-	}
-	lineFactors, err := parseInts(*lfF)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	refsOut := capture(*refs, *seed)
-	goals := map[uint16]float64{}
-	mg := metrics.Goals{}
-	for asid := uint16(1); asid <= 4; asid++ {
-		goals[asid] = *goal
-		mg[asid] = *goal
-	}
-
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := w.Write([]string{
-		"total_size", "molecule_size", "policy", "line_factor",
-		"avg_deviation", "overall_miss_rate", "avg_probes", "free_molecules",
-	}); err != nil {
-		log.Fatal(err)
-	}
-	for _, size := range sizes {
-		for _, mol := range molecules {
-			for _, pol := range policies {
-				for _, lf := range lineFactors {
-					row, err := runOne(size, mol, pol, lf, goals, mg, refsOut, *seed, reg)
-					if err != nil {
-						// Infeasible geometry (e.g. molecule > tile):
-						// skip, noting it on stderr.
-						fmt.Fprintf(os.Stderr, "skip %s/%s/%s/x%d: %v\n",
-							addr.Bytes(size), addr.Bytes(mol), pol, lf, err)
-						continue
-					}
-					if err := w.Write(row); err != nil {
-						log.Fatal(err)
-					}
-				}
-			}
-		}
-	}
-}
-
-// capture records the SPEC mix's L1-miss stream once.
-func capture(refs int, seed uint64) []trace.Ref {
-	l2 := cache.MustNew(cache.Config{Size: 1 * addr.MB, Ways: 4, LineSize: 64})
-	sys, err := cmp.New(l2, cmp.Config{CaptureL1Misses: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, name := range []string{"art", "mcf", "ammp", "parser"} {
-		asid := uint16(i + 1)
-		gen, err := workload.New(name, uint64(asid)<<36, seed+uint64(asid)*1000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sys.AddCore(asid, gen); err != nil {
-			log.Fatal(err)
-		}
-	}
-	sys.Run(refs)
-	return sys.Captured()
-}
-
-// runOne replays the trace into one configuration. When reg is non-nil
-// the counters accumulate across every swept combination (the gauges
-// reflect the last one).
-func runOne(size, mol uint64, pol molecular.ReplacementKind, lf int,
-	goals map[uint16]float64, mg metrics.Goals, refs []trace.Ref, seed uint64,
-	reg *telemetry.Registry) ([]string, error) {
-	mc, err := molecular.New(molecular.Config{
-		TotalSize:    size,
-		MoleculeSize: mol,
-		Policy:       pol,
-		LineFactor:   lf,
-		Seed:         seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	for asid := uint16(1); asid <= 4; asid++ {
-		if _, err := mc.CreateRegion(asid, molecular.RegionOptions{
-			HomeCluster: 0, HomeTile: int(asid - 1),
-		}); err != nil {
-			return nil, err
-		}
-	}
-	ctrl, err := resize.New(mc, resize.Config{Goals: goals})
-	if err != nil {
-		return nil, err
-	}
-	if reg != nil {
-		mc.AttachTelemetry(nil, reg)
-		ctrl.AttachTelemetry(nil, reg)
-	}
-	for _, r := range refs {
-		mc.Access(r)
-		ctrl.Tick()
-	}
-	return []string{
-		addr.Bytes(size),
-		addr.Bytes(mol),
-		string(pol),
-		strconv.Itoa(lf),
-		fmt.Sprintf("%.4f", metrics.AverageDeviation(mc.Ledger(), mg)),
-		fmt.Sprintf("%.4f", mc.Ledger().Total.MissRate()),
-		fmt.Sprintf("%.1f", mc.AverageProbes()),
-		strconv.Itoa(mc.FreeMolecules()),
-	}, nil
-}
-
-func parseSizes(s string) ([]uint64, error) {
-	var out []uint64
-	for _, part := range strings.Split(s, ",") {
-		u := strings.ToUpper(strings.TrimSpace(part))
-		mul := uint64(1)
-		switch {
-		case strings.HasSuffix(u, "MB"):
-			mul, u = addr.MB, strings.TrimSuffix(u, "MB")
-		case strings.HasSuffix(u, "KB"):
-			mul, u = addr.KB, strings.TrimSuffix(u, "KB")
-		}
-		n, err := strconv.ParseUint(u, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad size %q", part)
-		}
-		out = append(out, n*mul)
-	}
-	return out, nil
-}
-
-func parsePolicies(s string) ([]molecular.ReplacementKind, error) {
-	var out []molecular.ReplacementKind
-	for _, part := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(part)) {
-		case "random":
-			out = append(out, molecular.RandomReplacement)
-		case "randy":
-			out = append(out, molecular.RandyReplacement)
-		case "lru-direct", "lrudirect":
-			out = append(out, molecular.LRUDirect)
-		default:
-			return nil, fmt.Errorf("unknown policy %q", part)
-		}
-	}
-	return out, nil
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }

@@ -7,7 +7,11 @@
 // talk to this interface.
 package engine
 
-import "molcache/internal/trace"
+import (
+	"context"
+
+	"molcache/internal/trace"
+)
 
 // Result describes the externally visible effects of one cache access.
 // The probe counts are the inputs to the energy model: dynamic energy per
@@ -58,4 +62,32 @@ func Run(c Cache, refs []trace.Ref) (hits, misses uint64) {
 		}
 	}
 	return hits, misses
+}
+
+// cancelCheckStride is how many references RunContext replays between
+// context checks: coarse enough to keep the hot loop branch-free in
+// practice, fine enough that a cancelled sweep job stops within
+// microseconds.
+const cancelCheckStride = 1 << 14
+
+// RunContext is Run with cooperative cancellation: replay stops at the
+// next stride boundary after ctx is cancelled and the partial counts are
+// returned alongside ctx's error. It is the replay driver for scheduled
+// jobs (internal/runner), where the first failing configuration cancels
+// the rest of the batch.
+func RunContext(ctx context.Context, c Cache, refs []trace.Ref) (hits, misses uint64, err error) {
+	for len(refs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return hits, misses, err
+		}
+		n := len(refs)
+		if n > cancelCheckStride {
+			n = cancelCheckStride
+		}
+		h, m := Run(c, refs[:n])
+		hits += h
+		misses += m
+		refs = refs[n:]
+	}
+	return hits, misses, ctx.Err()
 }

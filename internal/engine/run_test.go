@@ -4,7 +4,9 @@ package engine_test
 // models (which import engine), not a toy.
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"molcache/internal/addr"
 	"molcache/internal/cache"
@@ -68,6 +70,64 @@ func TestRunAggregateCountsMolecular(t *testing.T) {
 	hits, misses := engine.Run(c, refs)
 	if misses != 5 || hits != uint64(len(refs)-5) {
 		t.Errorf("Run = %d hits, %d misses; want %d, 5", hits, misses, len(refs)-5)
+	}
+}
+
+// syntheticTrace builds a stream long enough to span several cancel-check
+// strides (the stride is 1<<14).
+func syntheticTrace(n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i%512) * 64, ASID: 1, Kind: trace.Read}
+	}
+	return refs
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	refs := syntheticTrace(3<<14 + 100)
+	a := cache.MustNew(cache.Config{Size: 1 * addr.KB, Ways: 1, LineSize: 64})
+	b := cache.MustNew(cache.Config{Size: 1 * addr.KB, Ways: 1, LineSize: 64})
+	h1, m1 := engine.Run(a, refs)
+	h2, m2, err := engine.RunContext(context.Background(), b, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || m1 != m2 {
+		t.Errorf("RunContext = %d/%d, Run = %d/%d", h2, m2, h1, m1)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	refs := syntheticTrace(10 << 14)
+	c := cache.MustNew(cache.Config{Size: 1 * addr.KB, Ways: 1, LineSize: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hits, misses, err := engine.RunContext(ctx, c, refs)
+	if err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if hits != 0 || misses != 0 {
+		t.Errorf("pre-cancelled replay still counted %d/%d", hits, misses)
+	}
+}
+
+func TestRunContextCancelMidway(t *testing.T) {
+	refs := syntheticTrace(100 << 14)
+	c := cache.MustNew(cache.Config{Size: 1 * addr.KB, Ways: 1, LineSize: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := engine.RunContext(ctx, c, refs)
+		if err == nil {
+			t.Error("midway cancel not observed")
+		}
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not stop after cancellation")
 	}
 }
 

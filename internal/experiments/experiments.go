@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"molcache/internal/cache"
@@ -18,6 +19,8 @@ import (
 	"molcache/internal/engine"
 	"molcache/internal/molecular"
 	"molcache/internal/resize"
+	"molcache/internal/runner"
+	"molcache/internal/telemetry"
 	"molcache/internal/trace"
 	"molcache/internal/workload"
 )
@@ -31,6 +34,17 @@ type Options struct {
 	ProcessorRefs int
 	// Seed makes every stochastic choice reproducible.
 	Seed uint64
+	// Jobs is the worker count for the independent simulation points of
+	// each experiment (0 = GOMAXPROCS, 1 = serial). Every experiment's
+	// result is identical at any worker count: jobs share only immutable
+	// captured traces and results are collected in submission order.
+	Jobs int
+	// Tracer and Registry, when set, receive the scheduler's job events
+	// and runner_* progress metrics.
+	Tracer   *telemetry.Tracer
+	Registry *telemetry.Registry
+	// OnProgress, when set, observes every job completion.
+	OnProgress func(runner.Progress)
 }
 
 func (o Options) withDefaults() Options {
@@ -41,6 +55,17 @@ func (o Options) withDefaults() Options {
 		o.Seed = 2006 // the paper's publication year; any constant works
 	}
 	return o
+}
+
+// pool builds the job scheduler for one experiment's fan-out.
+func (o Options) pool(label string) runner.Pool {
+	return runner.Pool{
+		Workers:    o.Jobs,
+		Label:      label,
+		Tracer:     o.Tracer,
+		Registry:   o.Registry,
+		OnProgress: o.OnProgress,
+	}
 }
 
 // appBase separates application address spaces: app i lives at i<<36.
@@ -84,14 +109,15 @@ func captureTrace(mix mixSpec, processorRefs int, seed uint64) ([]trace.Ref, err
 }
 
 // replayTraditional replays refs into a fresh traditional cache and
-// returns it for inspection.
-func replayTraditional(cfg cache.Config, refs []trace.Ref) (*cache.Cache, error) {
+// returns it for inspection. Replay stops early if ctx is cancelled
+// (another job of the batch failed).
+func replayTraditional(ctx context.Context, cfg cache.Config, refs []trace.Ref) (*cache.Cache, error) {
 	c, err := cache.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range refs {
-		c.Access(r)
+	if _, _, err := engine.RunContext(ctx, c, refs); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -107,8 +133,9 @@ type placement struct{ Cluster, Tile int }
 
 // replayMolecular replays refs into a fresh molecular cache driven by a
 // resize controller with the given goals. Applications are admitted on
-// first touch unless placements pre-assigns their homes.
-func replayMolecular(mcfg molecular.Config, rcfg resize.Config,
+// first touch unless placements pre-assigns their homes. Replay checks
+// ctx every few thousand references so a failed batch cancels promptly.
+func replayMolecular(ctx context.Context, mcfg molecular.Config, rcfg resize.Config,
 	placements map[uint16]placement, refs []trace.Ref) (*molecularRun, error) {
 	mc, err := molecular.New(mcfg)
 	if err != nil {
@@ -126,7 +153,12 @@ func replayMolecular(mcfg molecular.Config, rcfg resize.Config,
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range refs {
+	for i, r := range refs {
+		if i&0x3fff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		mc.Access(r)
 		ctrl.Tick()
 	}

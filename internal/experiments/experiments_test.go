@@ -207,7 +207,7 @@ func TestTable2AndDownstream(t *testing.T) {
 
 	// Table 5: the power-deviation product must favour the molecular
 	// cache on the 8-way row (the paper's strongest comparison point).
-	t5, err := Table5(t2, t4)
+	t5, err := Table5(testOpts, t2, t4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"molcache/internal/addr"
@@ -8,6 +9,7 @@ import (
 	"molcache/internal/metrics"
 	"molcache/internal/molecular"
 	"molcache/internal/resize"
+	"molcache/internal/runner"
 	"molcache/internal/stats"
 	"molcache/internal/trace"
 )
@@ -53,58 +55,83 @@ func resizeGoals(g metrics.Goals) map[uint16]float64 {
 	return out
 }
 
+// figure5Cell is one (configuration, size) simulation point of the study.
+type figure5Cell struct {
+	name   string
+	size   uint64
+	ways   int                       // traditional cells
+	policy molecular.ReplacementKind // molecular cells ("" = traditional)
+}
+
+// figure5Cells enumerates the grid in deterministic order.
+func figure5Cells() []figure5Cell {
+	var cells []figure5Cell
+	for _, size := range Figure5Sizes {
+		for _, tc := range []struct {
+			ways int
+			name string
+		}{{1, "DM"}, {2, "2-way"}, {4, "4-way"}, {8, "8-way"}} {
+			cells = append(cells, figure5Cell{name: tc.name, size: size, ways: tc.ways})
+		}
+		for _, policy := range []molecular.ReplacementKind{
+			molecular.RandomReplacement, molecular.RandyReplacement,
+		} {
+			cells = append(cells, figure5Cell{
+				name:   "Molecular (" + string(policy) + ")",
+				size:   size,
+				policy: policy,
+			})
+		}
+	}
+	return cells
+}
+
 // Figure5 runs the study: one captured L1-miss trace of the concurrent
 // four-benchmark mix, replayed into every (configuration, size) cell.
-// Traditional caches are goal-blind, so one replay serves both graphs;
-// molecular caches resize toward their goals, so Graph A and Graph B get
-// separate runs and the reported deviation comes from each run's own
-// goal set.
+// The 24 cells are independent replays of the shared immutable trace, so
+// they fan out across opt.Jobs workers. Traditional caches are
+// goal-blind, so one replay serves both graphs; molecular caches resize
+// toward their goals, so Graph A and Graph B get separate runs and the
+// reported deviation comes from each run's own goal set.
 func Figure5(opt Options) ([]Figure5Point, error) {
 	opt = opt.withDefaults()
 	refs, err := captureTrace(Figure5Mix, opt.ProcessorRefs, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var points []Figure5Point
-	for _, size := range Figure5Sizes {
-		// Traditional baselines.
-		for ways, name := range map[int]string{1: "DM", 2: "2-way", 4: "4-way", 8: "8-way"} {
-			c, err := replayTraditional(cache.Config{
-				Size: size, Ways: ways, LineSize: 64, Policy: cache.LRU,
-			}, refs)
-			if err != nil {
-				return nil, err
+	points, err := runner.Map(context.Background(), opt.pool("figure5"), figure5Cells(),
+		func(ctx context.Context, _ int, cell figure5Cell) (Figure5Point, error) {
+			if cell.policy == "" {
+				c, err := replayTraditional(ctx, cache.Config{
+					Size: cell.size, Ways: cell.ways, LineSize: 64, Policy: cache.LRU,
+				}, refs)
+				if err != nil {
+					return Figure5Point{}, err
+				}
+				return Figure5Point{
+					Config:     cell.name,
+					Size:       cell.size,
+					DeviationA: metrics.AverageDeviation(c.Ledger(), figure5GoalsA()),
+					DeviationB: metrics.AverageDeviation(c.Ledger(), figure5GoalsB()),
+					PerAppMiss: perAppMiss(c.Ledger(), Figure5Mix),
+				}, nil
 			}
-			points = append(points, Figure5Point{
-				Config:     name,
-				Size:       size,
-				DeviationA: metrics.AverageDeviation(c.Ledger(), figure5GoalsA()),
-				DeviationB: metrics.AverageDeviation(c.Ledger(), figure5GoalsB()),
-				PerAppMiss: perAppMiss(c.Ledger(), Figure5Mix),
-			})
-		}
-		// Molecular configurations: Random and Randy, each run twice
-		// (Graph A and Graph B goal sets drive different resizing).
-		for _, policy := range []molecular.ReplacementKind{
-			molecular.RandomReplacement, molecular.RandyReplacement,
-		} {
-			p := Figure5Point{
-				Config: "Molecular (" + string(policy) + ")",
-				Size:   size,
-			}
-			runA, err := figure5Molecular(size, policy, figure5GoalsA(), refs, opt.Seed)
+			p := Figure5Point{Config: cell.name, Size: cell.size}
+			runA, err := figure5Molecular(ctx, cell.size, cell.policy, figure5GoalsA(), refs, opt.Seed)
 			if err != nil {
-				return nil, err
+				return Figure5Point{}, err
 			}
 			p.DeviationA = metrics.AverageDeviation(runA.Cache.Ledger(), figure5GoalsA())
 			p.PerAppMiss = perAppMiss(runA.Cache.Ledger(), Figure5Mix)
-			runB, err := figure5Molecular(size, policy, figure5GoalsB(), refs, opt.Seed)
+			runB, err := figure5Molecular(ctx, cell.size, cell.policy, figure5GoalsB(), refs, opt.Seed)
 			if err != nil {
-				return nil, err
+				return Figure5Point{}, err
 			}
 			p.DeviationB = metrics.AverageDeviation(runB.Cache.Ledger(), figure5GoalsB())
-			points = append(points, p)
-		}
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	sortFigure5(points)
 	return points, nil
@@ -112,13 +139,13 @@ func Figure5(opt Options) ([]Figure5Point, error) {
 
 // figure5Molecular replays into the 4-tile molecular configuration with
 // app i pinned to tile i-1 (the paper's static processor-tile binding).
-func figure5Molecular(size uint64, policy molecular.ReplacementKind,
+func figure5Molecular(ctx context.Context, size uint64, policy molecular.ReplacementKind,
 	goals metrics.Goals, refs []trace.Ref, seed uint64) (*molecularRun, error) {
 	placements := map[uint16]placement{}
 	for asid := uint16(1); asid <= 4; asid++ {
 		placements[asid] = placement{Cluster: 0, Tile: int(asid - 1)}
 	}
-	return replayMolecular(
+	return replayMolecular(ctx,
 		fourTileMolecular(size, policy, seed),
 		resize.Config{Trigger: resize.AdaptiveGlobal, Goals: resizeGoals(goals)},
 		placements, refs)

@@ -1,0 +1,164 @@
+package experiments
+
+// Golden-file regression tests for the exact text cmd/experiments and
+// cmd/sweep emit. Any change to a simulation model, a seed, or a renderer
+// shows up as a diff against testdata/*.golden. Regenerate with:
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// The goldens use small reference counts (the point is byte-stability,
+// not paper-scale numbers) and Jobs: 1; TestSweepJobsByteIdentical and
+// friends in parallel_test.go pin the parallel paths to these same bytes.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"molcache/internal/addr"
+	"molcache/internal/molecular"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// goldenOpts keeps the golden runs quick while exercising every renderer.
+var goldenOpts = Options{ProcessorRefs: 400_000, Seed: 2006, Jobs: 1}
+
+// checkGolden diffs got against testdata/<name>.golden (rewriting it
+// under -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	rows, err := Table1(goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, rows)
+	checkGolden(t, "table1", buf.Bytes())
+}
+
+func TestGoldenFigure5(t *testing.T) {
+	points, err := Figure5(goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderFigure5(&buf, points)
+	checkGolden(t, "figure5", buf.Bytes())
+}
+
+func TestGoldenRelatedWork(t *testing.T) {
+	rows, err := RelatedWork(goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderRelatedWork(&buf, rows)
+	checkGolden(t, "related", buf.Bytes())
+}
+
+// TestGoldenTable2Chain pins the whole downstream pipeline (Table 2,
+// Figure 6, Tables 4-5, headline), which shares one Table 2 computation
+// exactly like cmd/experiments -run all.
+func TestGoldenTable2Chain(t *testing.T) {
+	t2, err := Table2(goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, t2)
+	checkGolden(t, "table2", buf.Bytes())
+
+	buf.Reset()
+	RenderFigure6(&buf, Figure6(t2))
+	checkGolden(t, "figure6", buf.Bytes())
+
+	t4, err := Table4(goldenOpts, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderTable4(&buf, t4)
+	checkGolden(t, "table4", buf.Bytes())
+
+	t5, err := Table5(goldenOpts, t2, t4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderTable5(&buf, t5)
+	checkGolden(t, "table5", buf.Bytes())
+
+	h, err := ComputeHeadline(t2, t4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	RenderHeadline(&buf, h)
+	checkGolden(t, "headline", buf.Bytes())
+}
+
+// goldenSweepOpts is a small grid that includes an infeasible geometry
+// (512KB molecules never fit the 256KB/512KB tiles of these sizes), so
+// the skip path is pinned too.
+func goldenSweepOpts() SweepOptions {
+	return SweepOptions{
+		ProcessorRefs: 400_000,
+		Seed:          2006,
+		Sizes:         []uint64{1 * addr.MB, 2 * addr.MB},
+		MoleculeSizes: []uint64{8 * addr.KB, 512 * addr.KB},
+		Policies: []molecular.ReplacementKind{
+			molecular.RandomReplacement, molecular.RandyReplacement,
+		},
+		Jobs: 1,
+	}
+}
+
+func TestGoldenSweepCSV(t *testing.T) {
+	rows, err := Sweep(goldenSweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skips, feasible int
+	for _, r := range rows {
+		if r.Skip != nil {
+			skips++
+			if r.MoleculeSize != 512*addr.KB {
+				t.Errorf("unexpected skip at %s: %v", r.Point(), r.Skip)
+			}
+		} else {
+			feasible++
+		}
+	}
+	if skips != 4 || feasible != 4 {
+		t.Fatalf("got %d skips / %d feasible rows, want 4 / 4", skips, feasible)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sweep", buf.Bytes())
+}

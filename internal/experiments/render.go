@@ -1,0 +1,151 @@
+package experiments
+
+// The renderers print each experiment's result in the paper's layout.
+// They live here (not in cmd/experiments) so the golden-file regression
+// tests can diff the exact text a CLI run produces; cmd/experiments is a
+// thin flag-parsing shell over Render*.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"molcache/internal/addr"
+	"molcache/internal/tabletext"
+)
+
+// RenderTable1 prints the interference study.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	t := tabletext.New(
+		"Table 1: miss rate depends on the co-scheduled benchmarks (shared 1MB 4-way L2)",
+		"workload", "miss rate of app1", "miss rate of app2",
+	)
+	for _, r := range rows {
+		cells := []string{strings.Join(r.Apps, " + ")}
+		for i, app := range r.Apps {
+			if i >= 2 {
+				break
+			}
+			cells = append(cells, fmt.Sprintf("%s=%.3f", app, r.MissRate[app]))
+		}
+		if len(r.Apps) > 2 {
+			// The all-four row: list every rate in column 2.
+			var parts []string
+			for _, app := range r.Apps {
+				parts = append(parts, fmt.Sprintf("%s=%.3f", app, r.MissRate[app]))
+			}
+			cells = []string{strings.Join(r.Apps, "+"), strings.Join(parts, " "), ""}
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Fprintln(w, t)
+}
+
+// RenderFigure5 prints both deviation-vs-size graphs.
+func RenderFigure5(w io.Writer, points []Figure5Point) {
+	var sizes []string
+	for _, s := range Figure5Sizes {
+		sizes = append(sizes, addr.Bytes(s))
+	}
+	graphA := tabletext.NewSeries(
+		"Figure 5 Graph A: average deviation from 10% miss-rate goal (all four benchmarks)",
+		"size", sizes...)
+	graphB := tabletext.NewSeries(
+		"Figure 5 Graph B: average deviation from 10% miss-rate goal (art, ammp, parser)",
+		"size", sizes...)
+	idx := map[uint64]int{}
+	for i, s := range Figure5Sizes {
+		idx[s] = i
+	}
+	for _, p := range points {
+		graphA.Set(p.Config, idx[p.Size], p.DeviationA)
+		graphB.Set(p.Config, idx[p.Size], p.DeviationB)
+	}
+	fmt.Fprintln(w, graphA)
+	fmt.Fprintln(w, graphB)
+}
+
+// RenderRelatedWork prints the related-work comparison.
+func RenderRelatedWork(w io.Writer, rows []RelatedWorkRow) {
+	t := tabletext.New(
+		"Related-work comparison (2MB, 10% goal on art/ammp/parser; schemes from the paper's section 2)",
+		"scheme", "avg deviation", "art", "mcf", "ammp", "parser",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.4f", r.Deviation),
+			fmt.Sprintf("%.3f", r.PerAppMiss["art"]),
+			fmt.Sprintf("%.3f", r.PerAppMiss["mcf"]),
+			fmt.Sprintf("%.3f", r.PerAppMiss["ammp"]),
+			fmt.Sprintf("%.3f", r.PerAppMiss["parser"]))
+	}
+	fmt.Fprintln(w, t)
+}
+
+// RenderTable2 prints the mixed-workload deviation table.
+func RenderTable2(w io.Writer, t2 *Table2Result) {
+	t := tabletext.New(
+		"Table 2: average deviation from the 25% miss-rate goal (12-benchmark mix)",
+		"cache type", "average deviation",
+	)
+	for _, r := range t2.Rows {
+		t.AddRowf(r.Name, r.Deviation)
+	}
+	fmt.Fprintln(w, t)
+}
+
+// RenderFigure6 prints the per-molecule hit-rate comparison.
+func RenderFigure6(w io.Writer, f6 *Figure6Result) {
+	randy := tabletext.NewBarChart(
+		"Figure 6: hit rate contribution per molecule (log scale) - Randy", true, 46)
+	random := tabletext.NewBarChart(
+		"Figure 6: hit rate contribution per molecule (log scale) - Random", true, 46)
+	for _, r := range f6.Rows {
+		randy.Add(r.Benchmark, r.RandyHPM)
+		random.Add(r.Benchmark, r.RandomHPM)
+	}
+	fmt.Fprintln(w, randy)
+	fmt.Fprintln(w, random)
+	fmt.Fprintf(w, "aggregate: %s\n\n", f6)
+}
+
+// RenderTable4 prints the power study.
+func RenderTable4(w io.Writer, t4 *Table4Result) {
+	fmt.Fprintln(w, "Table 3 configuration: 8MB molecular, 8KB molecules, 512KB tiles,")
+	fmt.Fprintln(w, "4 tile-clusters x 4 tiles, 1 port per cluster; traditional: 8MB, 4 ports.")
+	fmt.Fprintf(w, "Measured mixed-workload average probes/access: %.1f molecules\n\n", t4.AvgProbes)
+	t := tabletext.New(
+		"Table 4: power at 70nm (molecular compared at each traditional frequency)",
+		"cache type", "freq (MHz)", "power (W)", "mol. worst case (W)", "mol. average (W)",
+	)
+	for _, r := range t4.Rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.0f", r.FreqMHz),
+			fmt.Sprintf("%.2f", r.PowerW),
+			fmt.Sprintf("%.2f", r.MolWorstW),
+			fmt.Sprintf("%.2f", r.MolAvgW))
+	}
+	fmt.Fprintln(w, t)
+}
+
+// RenderTable5 prints the power-deviation products.
+func RenderTable5(w io.Writer, rows []Table5Row) {
+	t := tabletext.New(
+		"Table 5: power-deviation product (vs 6MB Molecular Randy)",
+		"cache type", "power-deviation product", "molecular power-deviation product",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.3f", r.TradPD), fmt.Sprintf("%.3f", r.MolPD))
+	}
+	fmt.Fprintln(w, t)
+}
+
+// RenderHeadline prints the paper's abstract claim.
+func RenderHeadline(w io.Writer, h *Headline) {
+	fmt.Fprintf(w, "Headline: vs the equivalently performing traditional cache (%s,\n", h.Baseline)
+	fmt.Fprintf(w, "deviation %.3f vs molecular %.3f), the molecular cache draws %.2f W\n",
+		h.BaselineDev, h.MolecularDev, h.MolecularW)
+	fmt.Fprintf(w, "against %.2f W at the same frequency: a %.1f%% power advantage\n",
+		h.BaselineW, h.AdvantagePct)
+	fmt.Fprintf(w, "(the paper reports 29%%).\n")
+}

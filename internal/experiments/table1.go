@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"molcache/internal/addr"
 	"molcache/internal/cache"
+	"molcache/internal/runner"
 )
 
 // Table1Row is one row of the interference study: the L2 miss rate each
@@ -29,26 +32,30 @@ func Table1Combos() []mixSpec {
 }
 
 // Table1 runs the interference experiment. Every combination runs for
-// opt.ProcessorRefs references split round-robin across its cores.
+// opt.ProcessorRefs references split round-robin across its cores; the
+// eleven combinations are independent CMP simulations, so they fan out
+// across opt.Jobs workers with rows kept in combination order.
 func Table1(opt Options) ([]Table1Row, error) {
 	opt = opt.withDefaults()
-	var rows []Table1Row
-	for _, mix := range Table1Combos() {
-		l2 := cache.MustNew(cache.Config{
-			Size: 1 * addr.MB, Ways: 4, LineSize: 64, Policy: cache.LRU,
+	return runner.Map(context.Background(), opt.pool("table1"), Table1Combos(),
+		func(ctx context.Context, _ int, mix mixSpec) (Table1Row, error) {
+			if err := ctx.Err(); err != nil {
+				return Table1Row{}, err
+			}
+			l2 := cache.MustNew(cache.Config{
+				Size: 1 * addr.MB, Ways: 4, LineSize: 64, Policy: cache.LRU,
+			})
+			sys, err := buildCMP(l2, mix, opt.Seed, false)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			sys.Run(opt.ProcessorRefs)
+			row := Table1Row{Apps: mix, MissRate: make(map[string]float64, len(mix))}
+			for i, name := range mix {
+				row.MissRate[name] = l2.Ledger().App(uint16(i + 1)).MissRate()
+			}
+			return row, nil
 		})
-		sys, err := buildCMP(l2, mix, opt.Seed, false)
-		if err != nil {
-			return nil, err
-		}
-		sys.Run(opt.ProcessorRefs)
-		row := Table1Row{Apps: mix, MissRate: make(map[string]float64, len(mix))}
-		for i, name := range mix {
-			row.MissRate[name] = l2.Ledger().App(uint16(i + 1)).MissRate()
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
 }
 
 // Standalone returns the miss rate a benchmark sees alone from a Table1

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"molcache/internal/addr"
@@ -8,6 +9,7 @@ import (
 	"molcache/internal/metrics"
 	"molcache/internal/molecular"
 	"molcache/internal/resize"
+	"molcache/internal/runner"
 	"molcache/internal/trace"
 	"molcache/internal/workload"
 )
@@ -70,52 +72,79 @@ func table2Placements() map[uint16]placement {
 	return out
 }
 
-// Table2 runs the mixed-workload study: capture once, replay into the
-// four traditional configurations and the two 6 MB molecular caches.
+// table2Point is one simulation of the study: a traditional geometry
+// (Molecular == "") or a 6 MB molecular policy.
+type table2Point struct {
+	size      uint64
+	ways      int
+	Molecular molecular.ReplacementKind
+}
+
+// table2Outcome carries a point's deviation row plus, for molecular
+// points, the run the downstream experiments (Figure 6, Tables 4-5) mine.
+type table2Outcome struct {
+	row Table2Row
+	run *molecularRun
+}
+
+// Table2 runs the mixed-workload study: capture once, then fan the four
+// traditional configurations and the two 6 MB molecular caches out as
+// independent replays of the shared trace. Row order is fixed by the
+// point list, not by completion order.
 func Table2(opt Options) (*Table2Result, error) {
 	opt = opt.withDefaults()
 	refs, err := captureTrace(Table2Mix, opt.ProcessorRefs, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	res := &Table2Result{Trace: refs}
 	goals := table2Goals()
-	for _, tc := range []struct {
-		size uint64
-		ways int
-	}{
-		{4 * addr.MB, 4}, {4 * addr.MB, 8}, {8 * addr.MB, 4}, {8 * addr.MB, 8},
-	} {
-		c, err := replayTraditional(cache.Config{
-			Size: tc.size, Ways: tc.ways, LineSize: 64, Policy: cache.LRU,
-		}, refs)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, Table2Row{
-			Name:      c.Name(),
-			Deviation: metrics.AverageDeviation(c.Ledger(), goals),
+	points := []table2Point{
+		{size: 4 * addr.MB, ways: 4}, {size: 4 * addr.MB, ways: 8},
+		{size: 8 * addr.MB, ways: 4}, {size: 8 * addr.MB, ways: 8},
+		{Molecular: molecular.RandyReplacement},
+		{Molecular: molecular.RandomReplacement},
+	}
+	outcomes, err := runner.Map(context.Background(), opt.pool("table2"), points,
+		func(ctx context.Context, _ int, pt table2Point) (table2Outcome, error) {
+			if pt.Molecular == "" {
+				c, err := replayTraditional(ctx, cache.Config{
+					Size: pt.size, Ways: pt.ways, LineSize: 64, Policy: cache.LRU,
+				}, refs)
+				if err != nil {
+					return table2Outcome{}, err
+				}
+				return table2Outcome{row: Table2Row{
+					Name:      c.Name(),
+					Deviation: metrics.AverageDeviation(c.Ledger(), goals),
+				}}, nil
+			}
+			rcfg := resize.Config{Trigger: resize.AdaptiveGlobal, Goals: resizeGoals(goals)}
+			run, err := replayMolecular(ctx,
+				sixMBMolecular(pt.Molecular, opt.Seed), rcfg, table2Placements(), refs)
+			if err != nil {
+				return table2Outcome{}, err
+			}
+			return table2Outcome{
+				row: Table2Row{
+					Name:      run.Cache.Name(),
+					Deviation: metrics.AverageDeviation(run.Cache.Ledger(), goals),
+				},
+				run: run,
+			}, nil
 		})
-	}
-	rcfg := resize.Config{Trigger: resize.AdaptiveGlobal, Goals: resizeGoals(goals)}
-	res.Randy, err = replayMolecular(
-		sixMBMolecular(molecular.RandyReplacement, opt.Seed), rcfg, table2Placements(), refs)
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = append(res.Rows, Table2Row{
-		Name:      res.Randy.Cache.Name(),
-		Deviation: metrics.AverageDeviation(res.Randy.Cache.Ledger(), goals),
-	})
-	res.Random, err = replayMolecular(
-		sixMBMolecular(molecular.RandomReplacement, opt.Seed), rcfg, table2Placements(), refs)
-	if err != nil {
-		return nil, err
+	res := &Table2Result{Trace: refs}
+	for i, out := range outcomes {
+		res.Rows = append(res.Rows, out.row)
+		switch points[i].Molecular {
+		case molecular.RandyReplacement:
+			res.Randy = out.run
+		case molecular.RandomReplacement:
+			res.Random = out.run
+		}
 	}
-	res.Rows = append(res.Rows, Table2Row{
-		Name:      res.Random.Cache.Name(),
-		Deviation: metrics.AverageDeviation(res.Random.Cache.Ledger(), goals),
-	})
 	return res, nil
 }
 

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+
 	"molcache/internal/addr"
 	"molcache/internal/molecular"
 	"molcache/internal/power"
 	"molcache/internal/resize"
+	"molcache/internal/runner"
 )
 
 // Table3Config is the molecular configuration of the power study
@@ -63,7 +66,7 @@ func Table4(opt Options, t2 *Table2Result) (*Table4Result, error) {
 	for i := 0; i < 12; i++ {
 		placements[uint16(i+1)] = placement{Cluster: i / 3, Tile: i % 3}
 	}
-	run, err := replayMolecular(molecular.Config{
+	run, err := replayMolecular(context.Background(), molecular.Config{
 		TotalSize:       8 * addr.MB,
 		MoleculeSize:    8 * addr.KB,
 		LineSize:        64,
@@ -82,21 +85,28 @@ func Table4(opt Options, t2 *Table2Result) (*Table4Result, error) {
 		AvgProbes:   run.Cache.AverageProbes(),
 		MolEstimate: me,
 	}
-	for _, ways := range []int{1, 2, 4, 8} {
-		est, err := power.Model(power.Geometry{
-			SizeBytes: 8 * addr.MB, Assoc: ways, LineBytes: 64, Ports: 4,
-		}, power.Tech70)
-		if err != nil {
-			return nil, err
-		}
-		f := est.FrequencyMHz()
-		res.Rows = append(res.Rows, Table4Row{
-			Name:      est.Geometry.Name(),
-			FreqMHz:   f,
-			PowerW:    est.PowerWatts(f),
-			MolWorstW: power.PowerWatts(me.WorstCaseEnergy(), f),
-			MolAvgW:   power.PowerWatts(me.AccessEnergy(int(res.AvgProbes+0.5)), f),
+	// The four traditional organization searches are independent; fan
+	// them out (rows stay in associativity order).
+	rows, err := runner.Map(context.Background(), opt.pool("table4"), []int{1, 2, 4, 8},
+		func(ctx context.Context, _ int, ways int) (Table4Row, error) {
+			est, err := power.Model(power.Geometry{
+				SizeBytes: 8 * addr.MB, Assoc: ways, LineBytes: 64, Ports: 4,
+			}, power.Tech70)
+			if err != nil {
+				return Table4Row{}, err
+			}
+			f := est.FrequencyMHz()
+			return Table4Row{
+				Name:      est.Geometry.Name(),
+				FreqMHz:   f,
+				PowerW:    est.PowerWatts(f),
+				MolWorstW: power.PowerWatts(me.WorstCaseEnergy(), f),
+				MolAvgW:   power.PowerWatts(me.AccessEnergy(int(res.AvgProbes+0.5)), f),
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"molcache/internal/addr"
 	"molcache/internal/metrics"
 	"molcache/internal/power"
+	"molcache/internal/runner"
 )
 
 // Table5Row compares the power-deviation product of one traditional
@@ -21,8 +23,10 @@ type Table5Row struct {
 }
 
 // Table5 derives the power-deviation products from the Table 2
-// deviations and the Table 4 power model.
-func Table5(t2 *Table2Result, t4 *Table4Result) ([]Table5Row, error) {
+// deviations and the Table 4 power model. The two organization searches
+// are independent jobs (rows stay in associativity order).
+func Table5(opt Options, t2 *Table2Result, t4 *Table4Result) ([]Table5Row, error) {
+	opt = opt.withDefaults()
 	dev := map[string]float64{}
 	for _, r := range t2.Rows {
 		dev[r.Name] = r.Deviation
@@ -32,27 +36,26 @@ func Table5(t2 *Table2Result, t4 *Table4Result) ([]Table5Row, error) {
 		return nil, fmt.Errorf("experiments: Table2 result lacks the 6MB Randy row")
 	}
 	molE := t4.MolEstimate.AccessEnergy(int(t4.AvgProbes + 0.5))
-	var rows []Table5Row
-	for _, ways := range []int{4, 8} {
-		est, err := power.Model(power.Geometry{
-			SizeBytes: 8 * addr.MB, Assoc: ways, LineBytes: 64, Ports: 4,
-		}, power.Tech70)
-		if err != nil {
-			return nil, err
-		}
-		name := est.Geometry.Name()
-		d, ok := dev[name]
-		if !ok {
-			return nil, fmt.Errorf("experiments: Table2 result lacks %q", name)
-		}
-		f := est.FrequencyMHz()
-		rows = append(rows, Table5Row{
-			Name:   name,
-			TradPD: metrics.PowerDeviation(est.PowerWatts(f), d),
-			MolPD:  metrics.PowerDeviation(power.PowerWatts(molE, f), molDev),
+	return runner.Map(context.Background(), opt.pool("table5"), []int{4, 8},
+		func(ctx context.Context, _ int, ways int) (Table5Row, error) {
+			est, err := power.Model(power.Geometry{
+				SizeBytes: 8 * addr.MB, Assoc: ways, LineBytes: 64, Ports: 4,
+			}, power.Tech70)
+			if err != nil {
+				return Table5Row{}, err
+			}
+			name := est.Geometry.Name()
+			d, ok := dev[name]
+			if !ok {
+				return Table5Row{}, fmt.Errorf("experiments: Table2 result lacks %q", name)
+			}
+			f := est.FrequencyMHz()
+			return Table5Row{
+				Name:   name,
+				TradPD: metrics.PowerDeviation(est.PowerWatts(f), d),
+				MolPD:  metrics.PowerDeviation(power.PowerWatts(molE, f), molDev),
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // Headline is the paper's abstract claim: the molecular cache's power

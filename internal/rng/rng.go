@@ -29,6 +29,18 @@ func (s *SplitMix64) Next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// DeriveSeed returns the stream-th seed derived from base. Distinct
+// streams yield statistically independent xoshiro256** generators (each
+// derived seed is one SplitMix64 output, the same mechanism New uses to
+// expand a seed into a state), so concurrent jobs can each run their own
+// Source without interleaving draws from a shared stream. The mapping is
+// pure: DeriveSeed(base, i) is stable across runs and platforms.
+func DeriveSeed(base, stream uint64) uint64 {
+	// The stream-th state of a SplitMix64 walk starting at base.
+	sm := SplitMix64{state: base + stream*0x9e3779b97f4a7c15}
+	return sm.Next()
+}
+
 // Source is a xoshiro256** generator. The zero value is invalid; use New.
 type Source struct {
 	s [4]uint64

@@ -149,6 +149,90 @@ func TestPowMatchesMath(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedMatchesSplitMixWalk(t *testing.T) {
+	// DeriveSeed(base, i) is defined as the (i+1)-th output of a
+	// SplitMix64 walk starting at base — the same expansion New uses, so
+	// derived generators inherit its independence guarantees.
+	walk := NewSplitMix64(2006)
+	for i := uint64(0); i < 100; i++ {
+		if got, want := DeriveSeed(2006, i), walk.Next(); got != want {
+			t.Fatalf("DeriveSeed(2006, %d) = %#x, want walk output %#x", i, got, want)
+		}
+	}
+}
+
+func TestDeriveSeedStreamsIndependent(t *testing.T) {
+	// Distinct streams must yield distinct seeds and generators whose
+	// outputs never coincide over a long prefix (a shared or correlated
+	// state would show up as collisions immediately).
+	const streams, draws = 16, 1000
+	seen := map[uint64]int{}
+	srcs := make([]*Source, streams)
+	for i := 0; i < streams; i++ {
+		s := DeriveSeed(2006, uint64(i))
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("streams %d and %d share seed %#x", prev, i, s)
+		}
+		seen[s] = i
+		srcs[i] = New(s)
+	}
+	values := map[uint64]bool{}
+	for _, src := range srcs {
+		for d := 0; d < draws; d++ {
+			values[src.Uint64()] = true
+		}
+	}
+	if len(values) != streams*draws {
+		t.Errorf("cross-stream collisions: %d unique of %d draws",
+			len(values), streams*draws)
+	}
+}
+
+// TestDeriveSeedNoInterleaving is the scheduler-safety property the
+// parallel runner depends on: a job's stream is a pure function of
+// (base, job index), so the values a job draws cannot depend on how many
+// draws other jobs made first — unlike jobs sharing one Source, where the
+// completion order would reshuffle every sequence.
+func TestDeriveSeedNoInterleaving(t *testing.T) {
+	const jobs, draws = 8, 64
+	drawAll := func(order []int) [jobs][draws]uint64 {
+		var out [jobs][draws]uint64
+		for _, j := range order {
+			src := New(DeriveSeed(2006, uint64(j)))
+			for d := 0; d < draws; d++ {
+				out[j][d] = src.Uint64()
+			}
+		}
+		return out
+	}
+	forward := make([]int, jobs)
+	reverse := make([]int, jobs)
+	for i := 0; i < jobs; i++ {
+		forward[i] = i
+		reverse[i] = jobs - 1 - i
+	}
+	if drawAll(forward) != drawAll(reverse) {
+		t.Fatal("per-job streams depend on execution order")
+	}
+
+	// The counterexample: interleaving draws from one shared Source gives
+	// each job a schedule-dependent sequence. This is why the runner
+	// derives a seed per job instead of sharing a generator.
+	shared := func(order []int) [jobs][draws]uint64 {
+		var out [jobs][draws]uint64
+		src := New(2006)
+		for _, j := range order {
+			for d := 0; d < draws; d++ {
+				out[j][d] = src.Uint64()
+			}
+		}
+		return out
+	}
+	if shared(forward) == shared(reverse) {
+		t.Fatal("shared-source draws unexpectedly order-independent")
+	}
+}
+
 func TestSplitMix64KnownValues(t *testing.T) {
 	// Reference values for seed 0 from the public-domain splitmix64.c.
 	s := NewSplitMix64(0)

@@ -73,10 +73,17 @@ const (
 	// KindNoCFault is a degraded remote lookup: Value is the retry
 	// count paid, Aux is 1 when the lookup was abandoned entirely.
 	KindNoCFault
+	// KindJobStart marks a runner job leaving the queue for a worker.
+	// Detail is the job label, Value the submission index.
+	KindJobStart
+	// KindJobDone marks a runner job finishing. Detail is the job label,
+	// Value the submission index, Aux the wall-clock microseconds spent,
+	// and Hit reports success (false = error or panic).
+	KindJobDone
 )
 
 // kindLast is the highest defined kind (keeps UnmarshalJSON exhaustive).
-const kindLast = KindNoCFault
+const kindLast = KindJobDone
 
 // String names the kind for logs and JSON.
 func (k Kind) String() string {
@@ -105,6 +112,10 @@ func (k Kind) String() string {
 		return "line-corrupt"
 	case KindNoCFault:
 		return "noc-fault"
+	case KindJobStart:
+		return "job-start"
+	case KindJobDone:
+		return "job-done"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

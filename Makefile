@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet bench bench-micro fuzz faults clean
+.PHONY: all build test race vet lint bench bench-micro fuzz faults clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/molvet): determinism, telemetry
+# and concurrency discipline. gofmt -l lists unformatted files; the
+# grep inverts that into a failure.
+lint:
+	$(GO) run ./cmd/molvet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .

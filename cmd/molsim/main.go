@@ -115,7 +115,7 @@ func main() {
 		if mol != nil {
 			mol.AttachTelemetry(tr, reg)
 		} else if tc, ok := l2.(*cache.Cache); ok {
-			tc.AttachTelemetry(reg, "molcache_l2")
+			tc.AttachTelemetry(reg, "l2")
 		}
 		if ctrl != nil {
 			ctrl.AttachTelemetry(tr, reg)
@@ -160,7 +160,7 @@ func setupTelemetry(eventsOut, metricsOut string,
 		tr        *telemetry.Tracer
 		reg       *telemetry.Registry
 		eventsF   *os.File
-		stopSnaps func()
+		stopSnaps func() error
 	)
 	if eventsOut != "" {
 		f, err := os.Create(eventsOut)
@@ -179,7 +179,9 @@ func setupTelemetry(eventsOut, metricsOut string,
 	}
 	finish := func() {
 		if stopSnaps != nil {
-			stopSnaps()
+			if err := stopSnaps(); err != nil {
+				log.Print(err)
+			}
 		}
 		if tr != nil {
 			if err := tr.Flush(); err != nil {

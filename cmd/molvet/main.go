@@ -1,0 +1,204 @@
+// molvet is the repository's project-aware static analyzer: it loads
+// the module with the standard library's go/parser + go/types (no
+// external dependencies) and enforces the contracts the simulator's
+// reproducibility rests on — determinism, concurrency confinement,
+// telemetry naming, and error discipline. See internal/analysis for the
+// rules and README "Static analysis" for the rationale.
+//
+// Usage:
+//
+//	molvet [-json] [-rules r1,r2] [-C dir] [packages...]
+//
+// Packages are ./...-style patterns (default ./...). Exit status: 0
+// clean, 1 findings, 2 operational failure. Suppress a single finding
+// with `//molvet:ignore rule-name reason` on or above the line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"molcache/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("molvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	ruleList := fs.String("rules", "", "comma-separated subset of rules to run (default all)")
+	list := fs.Bool("list", false, "list the registered rules and exit")
+	chdir := fs.String("C", "", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, r := range analysis.Rules() {
+			fmt.Fprintf(stdout, "%-16s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+	wd := *chdir
+	if wd == "" {
+		var err error
+		wd, err = os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "molvet:", err)
+			return 2
+		}
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "molvet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "molvet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expandPatterns(loader, wd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "molvet:", err)
+		return 2
+	}
+
+	var names []string
+	if *ruleList != "" {
+		names = strings.Split(*ruleList, ",")
+		for _, n := range names {
+			if !known(n) {
+				fmt.Fprintf(stderr, "molvet: unknown rule %q (see molvet -list)\n", n)
+				return 2
+			}
+		}
+	}
+
+	cfg := analysis.DefaultConfig()
+	var diags []analysis.Diagnostic
+	failed := false
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fmt.Fprintln(stderr, "molvet:", err)
+			failed = true
+			continue
+		}
+		diags = append(diags, analysis.Run(cfg, pkg, names)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "molvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, rel(root, d))
+		}
+	}
+	switch {
+	case failed:
+		return 2
+	case len(diags) > 0:
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "molvet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// known reports whether a rule name is registered.
+func known(name string) bool {
+	for _, n := range analysis.RuleNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// rel renders a diagnostic with a module-root-relative path.
+func rel(root string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.File); err == nil && !strings.HasPrefix(r, "..") {
+		d.File = r
+	}
+	return d.String()
+}
+
+// expandPatterns turns ./...-style patterns into import paths.
+func expandPatterns(l *analysis.Loader, wd string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(paths ...string) {
+		for _, p := range paths {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			dir := rest
+			if dir == "." || dir == "" {
+				dir = wd
+			} else if !filepath.IsAbs(dir) {
+				dir = filepath.Join(wd, dir)
+			}
+			paths, err := l.DiscoverPackages(dir)
+			if err != nil {
+				return nil, err
+			}
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("molvet: no packages match %s", pat)
+			}
+			add(paths...)
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(wd, dir)
+		}
+		ip, err := importPathFor(l, dir)
+		if err != nil {
+			return nil, err
+		}
+		add(ip)
+	}
+	return out, nil
+}
+
+// importPathFor maps a directory to its module import path.
+func importPathFor(l *analysis.Loader, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	r, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(r, "..") {
+		return "", fmt.Errorf("molvet: %s is outside module %s", dir, l.ModulePath)
+	}
+	if r == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(r), nil
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	//molvet:ignore rule-name reason for the exception
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory: an unexplained exception is itself a finding.
+const ignorePrefix = "//molvet:ignore"
+
+// ignoreKey identifies one suppressed (rule, file, line) cell. A
+// directive on line N covers findings on lines N and N+1, so it works
+// both as a trailing comment and as a line of its own above the code.
+type ignoreKey struct {
+	rule string
+	file string
+	line int
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// covers reports whether a directive suppresses rule at pos.
+func (s ignoreSet) covers(rule string, pos token.Position) bool {
+	return s[ignoreKey{rule, pos.Filename, pos.Line}] ||
+		s[ignoreKey{rule, pos.Filename, pos.Line - 1}]
+}
+
+// directives scans every comment in the package for molvet:ignore
+// markers. Malformed directives (no rule name, unknown rule, or a
+// missing reason) come back as diagnostics under the "directive"
+// pseudo-rule so they fail the build instead of silently ignoring
+// nothing.
+func (p *Package) directives() (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //molvet:ignoreXYZ — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := p.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					bad = append(bad, directiveDiag(pos,
+						"molvet:ignore needs a rule name and a reason"))
+					continue
+				}
+				rule := fields[0]
+				if _, known := rules[rule]; !known {
+					bad = append(bad, directiveDiag(pos,
+						"molvet:ignore names unknown rule "+rule))
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, directiveDiag(pos,
+						"molvet:ignore "+rule+" has no reason; explain the exception"))
+					continue
+				}
+				set[ignoreKey{rule, pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+func directiveDiag(pos token.Position, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:     pos,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Rule:    "directive",
+		Message: msg,
+	}
+}

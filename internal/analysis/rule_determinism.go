@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// determinismRule forbids ambient-state reads in simulation packages.
+// The golden-file tests and the -jobs byte-identity contract (PR 3)
+// require that a simulation's output is a pure function of its inputs
+// and seed: wall clocks, environment variables and the global math/rand
+// source all smuggle in state that varies run to run.
+type determinismRule struct{}
+
+func init() { Register(determinismRule{}) }
+
+func (determinismRule) Name() string { return "determinism" }
+
+func (determinismRule) Doc() string {
+	return "simulation packages must not read wall clocks (time.Now/Since), os.Getenv, or the global math/rand source"
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the shared global source. rand.New/NewSource/NewZipf construct
+// seeded local generators and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+func (r determinismRule) Check(cfg Config, pkg *Package) []Diagnostic {
+	if !matchAny(pkg.Path, cfg.SimPackages) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg.callsPackageFunc(call, "time", "Now"):
+				out = append(out, diag(pkg, call, r.Name(),
+					"time.Now in a simulation package; inject a Clock or take timestamps outside the simulation"))
+			case pkg.callsPackageFunc(call, "time", "Since"):
+				out = append(out, diag(pkg, call, r.Name(),
+					"time.Since in a simulation package; inject a Clock or take timestamps outside the simulation"))
+			case pkg.callsPackageFunc(call, "os", "Getenv"),
+				pkg.callsPackageFunc(call, "os", "LookupEnv"),
+				pkg.callsPackageFunc(call, "os", "Environ"):
+				out = append(out, diag(pkg, call, r.Name(),
+					"environment read in a simulation package; pass configuration explicitly"))
+			default:
+				if obj := pkg.calleeObject(call); obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "math/rand" && globalRandFuncs[obj.Name()] {
+					out = append(out, diag(pkg, call, r.Name(),
+						"global math/rand source in a simulation package; use a seeded internal/rng stream"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// lockCopyRule flags by-value copies of structs that embed sync or
+// sync/atomic state. Copying a Mutex forks the lock; copying an atomic
+// counter forks the count — both compile fine and corrupt silently.
+// Checked everywhere (the concurrency primitives themselves only live
+// in internal/runner and internal/telemetry, but the structs that
+// contain them travel).
+type lockCopyRule struct{}
+
+func init() { Register(lockCopyRule{}) }
+
+func (lockCopyRule) Name() string { return "lock-copy" }
+
+func (lockCopyRule) Doc() string {
+	return "no by-value copies (receivers, params, derefs, range values) of structs containing sync.Mutex or atomic fields"
+}
+
+func (r lockCopyRule) Check(cfg Config, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, diag(pkg, n, r.Name(), format, args...))
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if containsLock(tv.Type) {
+				report(field, "%s passes a lock-containing %s by value; use a pointer", what, tv.Type)
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(x.Recv, "receiver")
+				checkFieldList(x.Type.Params, "parameter")
+				checkFieldList(x.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(x.Type.Params, "parameter")
+				checkFieldList(x.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					star, ok := ast.Unparen(rhs).(*ast.StarExpr)
+					if !ok {
+						continue
+					}
+					if tv, ok := pkg.Info.Types[star]; ok && containsLock(tv.Type) {
+						report(rhs, "dereference copies lock-containing %s by value", tv.Type)
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[x.Value]; ok && containsLock(tv.Type) {
+					report(x.Value, "range value copies lock-containing %s per iteration; range by index", tv.Type)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mapOrderRule forbids order-sensitive work inside `range` over a map
+// in the packages whose output is diffed byte-for-byte (simulation
+// packages and the telemetry exporters). Go randomizes map iteration
+// order on purpose; anything ordered that happens per-iteration —
+// appending to a slice, printing, mutating shared state through a
+// method, or returning early — silently varies run to run.
+//
+// Safe patterns stay legal:
+//   - writing into another map (commutative),
+//   - commutative compound assignment (+=, ++, ...),
+//   - collecting keys/values into a slice that a later statement in the
+//     same function sorts (the canonical fix this rule asks for).
+type mapOrderRule struct{}
+
+func init() { Register(mapOrderRule{}) }
+
+func (mapOrderRule) Name() string { return "map-order" }
+
+func (mapOrderRule) Doc() string {
+	return "no appends, prints, shared-state mutation or early exits inside range-over-map in output-bearing packages"
+}
+
+func (r mapOrderRule) Check(cfg Config, pkg *Package) []Diagnostic {
+	if !matchAny(pkg.Path, cfg.SimPackages) && !matchAny(pkg.Path, cfg.MapOrderExtra) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok || !isMapType(tv.Type) {
+				return true
+			}
+			out = append(out, r.checkLoop(pkg, rs)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkLoop inspects one range-over-map body.
+func (r mapOrderRule) checkLoop(pkg *Package, rs *ast.RangeStmt) []Diagnostic {
+	var out []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, diag(pkg, n, r.Name(), format, args...))
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred work runs outside iteration order
+		case *ast.ReturnStmt:
+			report(stmt, "return inside range over map: which key triggers it varies run to run; iterate sorted keys")
+		case *ast.BranchStmt:
+			if stmt.Tok == token.BREAK {
+				report(stmt, "break inside range over map picks an arbitrary element; iterate sorted keys")
+			}
+		case *ast.AssignStmt:
+			if stmt.Tok != token.ASSIGN && stmt.Tok != token.DEFINE {
+				return true // compound ops (+= etc.) are commutative
+			}
+			for _, lhs := range stmt.Lhs {
+				if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+					continue // m2[k] = v is commutative
+				}
+				id := rootIdent(lhs)
+				if id == nil || id.Name == "_" || pkg.declaredWithin(id, rs) {
+					continue
+				}
+				if r.sortedAfter(pkg, rs, id) {
+					continue
+				}
+				report(stmt, "ordered write to %s inside range over map; sort after collecting, or iterate sorted keys", id.Name)
+			}
+		case *ast.CallExpr:
+			if obj := pkg.calleeObject(stmt); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")) {
+				report(stmt, "printing inside range over map emits in random order; iterate sorted keys")
+				return true
+			}
+			if sel, ok := ast.Unparen(stmt.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					id := rootIdent(sel.X)
+					if id != nil && !pkg.declaredWithin(id, rs) {
+						report(stmt, "method call %s.%s on state declared outside the loop, inside range over map; iterate sorted keys",
+							id.Name, sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether ident's accumulated value is sorted by a
+// sort/slices call later in the same function — the collect-then-sort
+// idiom the rule exists to encourage.
+func (r mapOrderRule) sortedAfter(pkg *Package, rs *ast.RangeStmt, id *ast.Ident) bool {
+	fd := pkg.enclosingFunc(rs)
+	if fd == nil {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		callee := pkg.calleeObject(call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		p := callee.Pkg().Path()
+		if (p != "sort" && p != "slices") || !strings.HasPrefix(callee.Name(), "Sort") && !sortishNames[callee.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid := rootIdent(arg); aid != nil && pkg.Info.Uses[aid] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortishNames are the sort/slices entry points that do not start with
+// "Sort" (sort.Strings, sort.Ints, ...).
+var sortishNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+}

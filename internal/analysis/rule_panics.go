@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicDisciplineRule keeps panic out of library control flow. The
+// fault-injection work (PR 2) converted config-path panics to errors so
+// a bad flag never takes down a sweep; this rule holds the line. panic
+// stays legal in three places:
+//
+//   - package main (a command may crash on impossible states),
+//   - init and constructor-shaped functions (New*/Must*) — invalid
+//     static configuration is a programming error at the call site,
+//   - functions whose doc comment declares the panic contract (the
+//     word "panic" in the comment), which keeps documented invariant
+//     guards like Registry.Counter honest: if it can panic, say so.
+type panicDisciplineRule struct{}
+
+func init() { Register(panicDisciplineRule{}) }
+
+func (panicDisciplineRule) Name() string { return "panic-discipline" }
+
+func (panicDisciplineRule) Doc() string {
+	return "library panics only in init/New*/Must* or functions whose doc comment documents the panic"
+}
+
+func (r panicDisciplineRule) Check(cfg Config, pkg *Package) []Diagnostic {
+	if pkg.IsMain() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := pkg.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			fd := pkg.enclosingFunc(call)
+			if fd != nil && panicSanctioned(fd) {
+				return true
+			}
+			out = append(out, diag(pkg, call, r.Name(),
+				"panic in library control flow; return an error, or document the panic contract in the function comment"))
+			return true
+		})
+	}
+	return out
+}
+
+// panicSanctioned reports whether fd may panic: init, a constructor
+// (New*/Must*), or a documented panic contract.
+func panicSanctioned(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	for _, prefix := range []string{"New", "new", "Must", "must"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	if name == "init" && fd.Recv == nil {
+		return true
+	}
+	return fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sinkErrorsRule forbids dropping errors from Write, Flush and Close on
+// the telemetry output path. A tracer whose sink silently failed is
+// worse than no tracer: the run looks observed but the evidence is
+// gone. The rule covers statement-position calls (including go/defer)
+// that discard a returned error where the receiver is a telemetry type
+// (Sink implementations, the Tracer) — and, inside internal/telemetry
+// itself, any Write/Flush/Close receiver, since that package owns the
+// files and writers behind the sinks.
+type sinkErrorsRule struct{}
+
+func init() { Register(sinkErrorsRule{}) }
+
+func (sinkErrorsRule) Name() string { return "sink-errors" }
+
+func (sinkErrorsRule) Doc() string {
+	return "errors from Write/Flush/Close on telemetry sinks must be handled (or explicitly assigned to _)"
+}
+
+var sinkMethods = map[string]bool{"Write": true, "Flush": true, "Close": true}
+
+func (r sinkErrorsRule) Check(cfg Config, pkg *Package) []Diagnostic {
+	inTelemetry := matchSuffix(pkg.Path, "internal/telemetry")
+	var out []Diagnostic
+	check := func(call *ast.CallExpr, via string) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !sinkMethods[sel.Sel.Name] {
+			return
+		}
+		recv := pkg.receiverType(call)
+		if recv == nil {
+			return
+		}
+		if !inTelemetry && !typeDeclaredIn(recv, "internal/telemetry") {
+			return
+		}
+		if !returnsError(pkg, call) {
+			return
+		}
+		out = append(out, diag(pkg, call, r.Name(),
+			"%s%s.%s error discarded; handle it or assign to _ deliberately",
+			via, types.TypeString(recv, types.RelativeTo(pkg.Types)), sel.Sel.Name))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.GoStmt:
+				check(stmt.Call, "go ")
+			case *ast.DeferStmt:
+				check(stmt.Call, "defer ")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's (single or last) result is an
+// error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErr(t.At(t.Len()-1).Type())
+	default:
+		return isErr(t)
+	}
+}

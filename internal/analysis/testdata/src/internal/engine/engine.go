@@ -1,0 +1,29 @@
+// Package engine is a molvet fixture seeded with concurrency,
+// telemetry-name and sink-error violations. It imports the real
+// internal/telemetry package, so the rules see the same receiver types
+// they police in production code. The golden test pins every expected
+// diagnostic; edits here must be mirrored in testdata/engine.golden.
+package engine
+
+import (
+	"fmt"
+
+	"molcache/internal/telemetry"
+)
+
+// Instrument assembles a metric name with fmt.Sprintf and registers a
+// second one outside the project namespaces (two telemetry-name
+// findings), then starts a goroutine over a fresh channel outside the
+// sanctioned packages (two concurrency findings).
+func Instrument(reg *telemetry.Registry, name string) chan int {
+	reg.Counter(fmt.Sprintf("molcache_%s_total", name)).Inc()
+	reg.Counter("BadName").Inc()
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return ch
+}
+
+// Shutdown drops the tracer's flush error on the floor (sink-errors).
+func Shutdown(tr *telemetry.Tracer) {
+	tr.Flush()
+}

@@ -12,27 +12,29 @@ type cacheInstruments struct {
 	writebacks *telemetry.Counter
 }
 
-// AttachTelemetry registers the cache's counters under ns (default
-// "molcache_cache"); the namespace keeps several caches — an L2 and a
-// core's L1s, say — apart inside one shared registry. A nil registry
-// detaches.
-func (c *Cache) AttachTelemetry(reg *telemetry.Registry, ns string) {
+// AttachTelemetry registers the cache's counters under the fixed
+// molcache_cache_* names, tagged with a {cache="<instance>"} label
+// (default instance "cache"); the label keeps several caches — an L2
+// and a core's L1s, say — apart inside one shared registry while the
+// metric names stay grep-able literals. A nil registry detaches.
+func (c *Cache) AttachTelemetry(reg *telemetry.Registry, instance string) {
 	if reg == nil {
 		c.ins = nil
 		return
 	}
-	if ns == "" {
-		ns = "molcache_cache"
+	if instance == "" {
+		instance = "cache"
 	}
+	label := `{cache="` + instance + `"}`
 	c.ins = &cacheInstruments{
-		hits:       reg.Counter(ns + "_hits_total"),
-		misses:     reg.Counter(ns + "_misses_total"),
-		tagProbes:  reg.Counter(ns + "_tag_probes_total"),
-		writebacks: reg.Counter(ns + "_writebacks_total"),
+		hits:       reg.Counter("molcache_cache_hits_total" + label),
+		misses:     reg.Counter("molcache_cache_misses_total" + label),
+		tagProbes:  reg.Counter("molcache_cache_tag_probes_total" + label),
+		writebacks: reg.Counter("molcache_cache_writebacks_total" + label),
 	}
-	reg.RegisterGaugeFunc(ns+"_miss_rate",
+	reg.RegisterGaugeFunc("molcache_cache_miss_rate"+label,
 		func() float64 { return c.ledger.Total.MissRate() })
-	reg.RegisterGaugeFunc(ns+"_valid_lines",
+	reg.RegisterGaugeFunc("molcache_cache_valid_lines"+label,
 		func() float64 { return float64(c.ValidLines()) })
 }
 

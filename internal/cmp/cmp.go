@@ -155,7 +155,7 @@ func (s *System) AddCore(asid uint16, gen workload.Generator) error {
 		return err
 	}
 	if s.reg != nil {
-		l1.AttachTelemetry(s.reg, l1Namespace(uint8(len(s.cores))))
+		l1.AttachTelemetry(s.reg, l1Instance(uint8(len(s.cores))))
 	}
 	s.cores = append(s.cores, &core{
 		id:   uint8(len(s.cores)),

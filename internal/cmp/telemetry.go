@@ -1,17 +1,17 @@
 package cmp
 
 import (
-	"fmt"
+	"strconv"
 
 	"molcache/internal/telemetry"
 )
 
 // AttachTelemetry instruments the whole substrate: the per-core L1s
-// (namespaced molcache_l1_core<N>), the MESI directory, an L2 access
-// counter and the end-to-end access-latency histogram (cycles each
-// reference cost the issuing core — the quantity CPI is built from).
-// Cores added after the call are instrumented as they arrive. Either
-// argument may be nil.
+// (the molcache_cache_* family labeled {cache="l1_core<N>"}), the MESI
+// directory, an L2 access counter and the end-to-end access-latency
+// histogram (cycles each reference cost the issuing core — the
+// quantity CPI is built from). Cores added after the call are
+// instrumented as they arrive. Either argument may be nil.
 func (s *System) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 	s.tracer = tr
 	s.reg = reg
@@ -26,11 +26,11 @@ func (s *System) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) 
 	reg.RegisterGaugeFunc("molcache_l1_miss_rate",
 		func() float64 { return s.l1Ledger.Total.MissRate() })
 	for _, c := range s.cores {
-		c.l1.AttachTelemetry(reg, l1Namespace(c.id))
+		c.l1.AttachTelemetry(reg, l1Instance(c.id))
 	}
 }
 
-// l1Namespace names one core's L1 metric family.
-func l1Namespace(id uint8) string {
-	return fmt.Sprintf("molcache_l1_core%d", id)
+// l1Instance names one core's L1 for the {cache=...} metric label.
+func l1Instance(id uint8) string {
+	return "l1_core" + strconv.Itoa(int(id))
 }

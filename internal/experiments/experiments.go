@@ -13,6 +13,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"molcache/internal/cache"
 	"molcache/internal/cmp"
@@ -141,7 +142,16 @@ func replayMolecular(ctx context.Context, mcfg molecular.Config, rcfg resize.Con
 	if err != nil {
 		return nil, err
 	}
-	for asid, p := range placements {
+	// Create regions in ASID order: CreateRegion assigns home tiles and
+	// molecule placements as it goes, so map-order iteration would give
+	// each run a different layout.
+	asids := make([]uint16, 0, len(placements))
+	for asid := range placements {
+		asids = append(asids, asid)
+	}
+	sort.Slice(asids, func(i, j int) bool { return asids[i] < asids[j] })
+	for _, asid := range asids {
+		p := placements[asid]
 		if _, err := mc.CreateRegion(asid, molecular.RegionOptions{
 			HomeCluster: p.Cluster,
 			HomeTile:    p.Tile,

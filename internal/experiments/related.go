@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"sort"
 
 	"molcache/internal/addr"
 	"molcache/internal/cache"
@@ -182,8 +183,15 @@ func oracleModifiedLRU(refs []trace.Ref, goals metrics.Goals) (*partition.Modifi
 	if err != nil {
 		return nil, err
 	}
-	for asid, lines := range alloc.Lines {
-		omlru.SetQuota(asid, uint64(lines))
+	// Quotas land in ASID order; SetQuota reshuffles way ownership as it
+	// runs, so map-order iteration would vary the initial layout.
+	asids := make([]uint16, 0, len(alloc.Lines))
+	for asid := range alloc.Lines {
+		asids = append(asids, asid)
+	}
+	sort.Slice(asids, func(i, j int) bool { return asids[i] < asids[j] })
+	for _, asid := range asids {
+		omlru.SetQuota(asid, uint64(alloc.Lines[asid]))
 	}
 	return omlru, nil
 }

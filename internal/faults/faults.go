@@ -149,10 +149,14 @@ func (c Campaign) Validate() error {
 			return fmt.Errorf("faults: noc_delays[%d]: negative drop_attempts %d", i, d.DropAttempts)
 		}
 	}
-	for name, s := range map[string]*RandomSpec{
-		"random_molecule_failures": c.RandomMoleculeFailures,
-		"random_line_corruptions":  c.RandomLineCorruptions,
+	for _, spec := range []struct {
+		name string
+		s    *RandomSpec
+	}{
+		{"random_molecule_failures", c.RandomMoleculeFailures},
+		{"random_line_corruptions", c.RandomLineCorruptions},
 	} {
+		name, s := spec.name, spec.s
 		if s == nil {
 			continue
 		}

@@ -777,7 +777,10 @@ func (c *Cache) CheckInvariants() error {
 		}
 	}
 	total := 0
-	for asid, r := range c.regions {
+	// Regions() iterates in ASID order, so when several regions are
+	// corrupt the checker reports the same one every run.
+	for _, r := range c.Regions() {
+		asid := r.asid
 		if r.count != len(r.molecules()) {
 			return fmt.Errorf("region %d count %d != molecules %d", asid, r.count, len(r.molecules()))
 		}

@@ -148,7 +148,9 @@ func (r *Region) ResetEpoch() {
 }
 
 // rowFor returns the replacement-view row for a block address per the
-// paper's hash: row = (addr / moleculeSize) mod rowMax.
+// paper's hash: row = (addr / moleculeSize) mod rowMax. Panics on a
+// rowless region — regions are never created empty, so that is
+// bookkeeping corruption, not an input error.
 func (r *Region) rowFor(addrBytes uint64) int {
 	if len(r.rows) == 0 {
 		panic("molecular: region has no rows")
@@ -157,7 +159,8 @@ func (r *Region) rowFor(addrBytes uint64) int {
 }
 
 // victim selects the molecule that receives the fill for addrBytes
-// (whose block number is block), per the region's policy.
+// (whose block number is block), per the region's policy. Panics on a
+// policy Config.Validate would have rejected.
 func (r *Region) victim(addrBytes, block uint64) *Molecule {
 	switch r.policy {
 	case RandomReplacement:
@@ -188,7 +191,8 @@ func (r *Region) victim(addrBytes, block uint64) *Molecule {
 	}
 }
 
-// nthMolecule returns the i-th molecule in row-major order.
+// nthMolecule returns the i-th molecule in row-major order. Panics
+// when i is outside [0, count) — callers draw indexes from r.count.
 func (r *Region) nthMolecule(i int) *Molecule {
 	for _, row := range r.rows {
 		if i < len(row) {
@@ -209,7 +213,9 @@ func (r *Region) molecules() []*Molecule {
 }
 
 // attach places molecule m into row rowIdx (which may equal len(rows) to
-// open a new row) and binds its ASID.
+// open a new row) and binds its ASID. Panics if m is already owned or
+// rowIdx is out of range; both mean the allocator and the region
+// disagree about who holds what, and continuing would corrupt results.
 func (r *Region) attach(m *Molecule, rowIdx int) {
 	if m.owned {
 		panic(fmt.Sprintf("molecular: molecule %d attached while owned", m.id))
@@ -233,7 +239,8 @@ func (r *Region) attach(m *Molecule, rowIdx int) {
 
 // detach removes m from the region, flushing its contents. It returns the
 // number of dirty-line writebacks. The molecule is NOT released to its
-// tile's free pool; the caller does that.
+// tile's free pool; the caller does that. Panics when m is not owned by
+// this region or missing from its row — ownership corruption.
 func (r *Region) detach(m *Molecule) (writebacks int) {
 	if !m.owned || m.asid != r.asid {
 		panic(fmt.Sprintf("molecular: detach of molecule %d not owned by region %d", m.id, r.asid))

@@ -1,7 +1,7 @@
 package molecular
 
 import (
-	"fmt"
+	"strconv"
 
 	"molcache/internal/telemetry"
 )
@@ -72,7 +72,9 @@ func (c *Cache) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 		func() float64 { return c.ledger.Total.MissRate() })
 	reg.RegisterGaugeFunc("molcache_molecular_avg_probes_per_access",
 		func() float64 { return c.AverageProbes() })
-	for _, r := range c.regions {
+	// Regions() iterates in ASID order, so gauge registration (and any
+	// panic on a name collision) is deterministic.
+	for _, r := range c.Regions() {
 		c.registerRegionGauges(r)
 	}
 }
@@ -86,7 +88,7 @@ func (c *Cache) registerRegionGauges(r *Region) {
 	if c.reg == nil {
 		return
 	}
-	label := fmt.Sprintf(`{asid="%d"}`, r.asid)
+	label := `{asid="` + strconv.Itoa(int(r.asid)) + `"}`
 	c.reg.RegisterGaugeFunc("molcache_region_miss_rate"+label,
 		func() float64 { return r.ledger.MissRate() })
 	c.reg.RegisterGaugeFunc("molcache_region_molecules"+label,

@@ -44,6 +44,8 @@ func (t *Tile) takeFree() *Molecule {
 // caller must already have flushed and disowned it. A failed molecule
 // is never pooled again: releasing one is a silent no-op, so every
 // withdrawal path degrades gracefully around retired hardware.
+// Panics on a cross-tile or still-owned release — both mean the
+// free-pool bookkeeping is corrupt.
 func (t *Tile) release(m *Molecule) {
 	if m.tile != t {
 		panic(fmt.Sprintf("molecular: molecule %d released to foreign tile %d", m.id, t.id))

@@ -104,8 +104,15 @@ func (c Config) Validate() error {
 	if c.DefaultGoal < 0 || c.DefaultGoal >= 1 {
 		return fmt.Errorf("resize: default goal %v outside [0,1)", c.DefaultGoal)
 	}
-	for asid, g := range c.Goals {
-		if g <= 0 || g >= 1 {
+	// Check goals in ASID order so the reported error is the same one
+	// every run when several goals are bad.
+	asids := make([]uint16, 0, len(c.Goals))
+	for asid := range c.Goals {
+		asids = append(asids, asid)
+	}
+	sort.Slice(asids, func(i, j int) bool { return asids[i] < asids[j] })
+	for _, asid := range asids {
+		if g := c.Goals[asid]; g <= 0 || g >= 1 {
 			return fmt.Errorf("resize: goal %v for ASID %d outside (0,1)", g, asid)
 		}
 	}

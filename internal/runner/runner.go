@@ -59,6 +59,10 @@ type Pool struct {
 	OnProgress func(Progress)
 	// Label names the batch in telemetry events (default "job").
 	Label string
+	// Clock supplies the timestamps behind job-duration metrics and
+	// Progress.Elapsed (nil means the real wall clock). Tests inject a
+	// ManualClock so duration metrics are deterministic.
+	Clock Clock
 }
 
 // Progress is a consistent snapshot of a running batch.
@@ -108,6 +112,14 @@ func (p Pool) label() string {
 		return p.Label
 	}
 	return "job"
+}
+
+// clock resolves the configured Clock.
+func (p Pool) clock() Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return realClock{}
 }
 
 // Seed derives the i-th job's RNG seed from base. It is a thin alias for
@@ -163,7 +175,8 @@ func Map[T, R any](ctx context.Context, p Pool, items []T,
 	ins.workers.Set(float64(nw))
 
 	errs := make([]error, len(items))
-	start := time.Now()
+	clk := p.clock()
+	start := clk.Now()
 	var mu sync.Mutex // guards progress + OnProgress serialization
 	prog := Progress{Total: len(items)}
 
@@ -172,7 +185,7 @@ func Map[T, R any](ctx context.Context, p Pool, items []T,
 		p.Tracer.Emit(telemetry.Event{
 			Kind: telemetry.KindJobStart, Detail: label, Value: int64(i),
 		})
-		t0 := time.Now()
+		t0 := clk.Now()
 		func() {
 			defer func() {
 				if v := recover(); v != nil {
@@ -185,7 +198,7 @@ func Map[T, R any](ctx context.Context, p Pool, items []T,
 		if errors.As(errs[i], &pe) {
 			ins.panics.Inc()
 		}
-		dt := time.Since(t0)
+		dt := clk.Since(t0)
 		ins.seconds.Observe(dt.Seconds())
 		ins.completed.Inc()
 		if errs[i] != nil {
@@ -200,7 +213,7 @@ func Map[T, R any](ctx context.Context, p Pool, items []T,
 		if errs[i] != nil {
 			prog.Failed++
 		}
-		prog.Elapsed = time.Since(start)
+		prog.Elapsed = clk.Since(start)
 		snap := prog
 		ins.throughput.Set(snap.JobsPerSecond())
 		if p.OnProgress != nil {

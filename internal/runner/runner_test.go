@@ -259,3 +259,55 @@ func TestProgressThroughput(t *testing.T) {
 		t.Fatalf("zero Progress throughput = %v, want 0", got)
 	}
 }
+
+// TestManualClockDeterministicDurations: with an injected ManualClock
+// every duration-derived metric is exact — the histogram sums precisely
+// the advanced time and the final Progress snapshot is reproducible
+// bit-for-bit, which wall-clock timestamps can never be.
+func TestManualClockDeterministicDurations(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := NewManualClock(time.Unix(1000, 0))
+	var last Progress
+	_, err := Map(context.Background(), Pool{
+		Workers:    1,
+		Registry:   reg,
+		Clock:      clk,
+		OnProgress: func(p Progress) { last = p },
+	}, []int{0, 1, 2, 3},
+		func(_ context.Context, i int, _ int) (int, error) {
+			clk.Advance(10 * time.Millisecond) // each job "takes" exactly 10ms
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("runner_job_seconds", nil)
+	if h.Count() != 4 {
+		t.Fatalf("job_seconds count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got != 0.04 {
+		t.Errorf("job_seconds sum = %v, want exactly 0.04", got)
+	}
+	if last.Elapsed != 40*time.Millisecond {
+		t.Errorf("final Elapsed = %v, want exactly 40ms", last.Elapsed)
+	}
+	if got := last.JobsPerSecond(); got != 100 {
+		t.Errorf("JobsPerSecond = %v, want exactly 100", got)
+	}
+}
+
+// TestManualClock: the clock itself only moves on Advance.
+func TestManualClock(t *testing.T) {
+	start := time.Unix(42, 0)
+	clk := NewManualClock(start)
+	if !clk.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", clk.Now(), start)
+	}
+	if d := clk.Since(start); d != 0 {
+		t.Fatalf("Since(start) = %v, want 0", d)
+	}
+	clk.Advance(3 * time.Second)
+	if d := clk.Since(start); d != 3*time.Second {
+		t.Fatalf("after Advance, Since(start) = %v, want 3s", d)
+	}
+}

@@ -82,7 +82,7 @@ func (p ProfileConfig) Start() (stop func() error, err error) {
 			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
 		}
 		if err = pprof.StartCPUProfile(cpuF); err != nil {
-			cpuF.Close()
+			_ = cpuF.Close() // already failing; the start error wins
 			cpuF = nil
 			return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
 		}
@@ -90,13 +90,13 @@ func (p ProfileConfig) Start() (stop func() error, err error) {
 	if p.Trace != "" {
 		traceF, err = os.Create(p.Trace)
 		if err != nil {
-			cleanup()
+			_ = cleanup()
 			return nil, fmt.Errorf("telemetry: execution trace: %w", err)
 		}
 		if err = rtrace.Start(traceF); err != nil {
-			traceF.Close()
+			_ = traceF.Close() // already failing; the start error wins
 			traceF = nil
-			cleanup()
+			_ = cleanup()
 			return nil, fmt.Errorf("telemetry: execution trace: %w", err)
 		}
 	}
@@ -129,21 +129,29 @@ func writeHeapProfile(path string) error {
 
 // StartPeriodicSnapshots spawns a goroutine that writes one compact
 // JSON snapshot of reg to w every interval, and returns the function
-// that stops it (flushing one final snapshot). The commands use it to
-// expose live metrics during long runs.
-func StartPeriodicSnapshots(reg *Registry, w io.Writer, interval time.Duration) (stop func()) {
+// that stops it (flushing one final snapshot). Stop reports the first
+// write error the goroutine hit, so a full disk or closed pipe is not
+// silently swallowed. The commands use it to expose live metrics
+// during long runs.
+func StartPeriodicSnapshots(reg *Registry, w io.Writer, interval time.Duration) (stop func() error) {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	var firstErr error // owned by the snapshot goroutine until finished closes
 	write := func() {
 		// One line per snapshot: the compact form of Snapshot.JSON.
 		b, err := json.Marshal(reg.Snapshot())
 		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
 			return
 		}
-		w.Write(append(b, '\n'))
+		if _, err := w.Write(append(b, '\n')); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	go func() {
 		defer close(finished)
@@ -160,10 +168,12 @@ func StartPeriodicSnapshots(reg *Registry, w io.Writer, interval time.Duration) 
 		}
 	}()
 	var once sync.Once
-	return func() {
+	return func() error {
 		once.Do(func() {
 			close(done)
 			<-finished
 		})
+		// finished has closed by now, so reading firstErr is safe.
+		return firstErr
 	}
 }

@@ -96,8 +96,12 @@ func TestPeriodicSnapshots(t *testing.T) {
 	var buf lockedBuffer
 	stop := StartPeriodicSnapshots(r, &buf, 10*time.Millisecond)
 	time.Sleep(35 * time.Millisecond)
-	stop()
-	stop() // idempotent
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := stop(); err != nil { // idempotent
+		t.Fatalf("second stop: %v", err)
+	}
 
 	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
 	lines := 0

@@ -136,11 +136,11 @@ func (h *Histogram) Sum() float64 {
 // methods are no-ops — which is how instrumented packages run with
 // metrics off at the cost of one pointer check at attach time.
 type Registry struct {
-	mu        sync.RWMutex
-	counters  map[string]*Counter
-	gauges    map[string]*Gauge
-	hists     map[string]*Histogram
-	gaugeFns  map[string]func() float64
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	gaugeFns map[string]func() float64
 }
 
 // NewRegistry returns an empty registry.
@@ -220,7 +220,9 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns (creating if needed) the named gauge.
+// Gauge returns (creating if needed) the named gauge. Nil registry
+// returns the nil no-op gauge. Panics on a malformed name or a name
+// already registered as a different instrument type.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
@@ -241,7 +243,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns (creating if needed) the named histogram with the
 // given bucket upper bounds (ignored if the histogram already exists;
-// DefaultLatencyBounds when nil).
+// DefaultLatencyBounds when nil). Panics on a malformed name or a name
+// already registered as a different instrument type.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -266,6 +269,8 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // RegisterGaugeFunc registers a gauge whose value is computed by fn at
 // snapshot time — the zero-hot-path-cost way to export derived values
 // like per-ASID miss rates. Re-registering a name replaces its fn.
+// Panics on a malformed name, a nil fn, or a name already registered
+// as a different instrument type.
 func (r *Registry) RegisterGaugeFunc(name string, fn func() float64) {
 	if r == nil {
 		return

@@ -25,8 +25,14 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# BENCH_OUT receives the access-path benchmark snapshot (ns/op,
+# allocs/op and fast-over-reference speedup per configuration) as a
+# telemetry JSON — the machine-readable perf trajectory CI archives.
+BENCH_OUT ?= BENCH_access.json
+
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
+	BENCH_OUT=$(BENCH_OUT) $(GO) test -run '^TestWriteAccessBench$$' -count=1 .
 
 # Just the hot-path micro benches (fast; includes the telemetry
 # overhead comparison).

@@ -51,6 +51,7 @@ func main() {
 	seed := flag.Uint64("seed", 2006, "simulation seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	faultsPath := flag.String("faults", "", "fault campaign JSON to inject (molecular caches only)")
+	refProbe := flag.Bool("reference-probe", false, "use the linear probe oracle instead of the fast-path block index (molecular caches only; results are identical, simulation is slower)")
 	checkEvery := flag.Uint64("check-invariants", 0, "audit structural invariants every N L2 accesses (0 disables)")
 	eventsOut := flag.String("events", "", "write telemetry events (JSONL) to this file")
 	metricsOut := flag.String("metrics", "", "write a final metrics snapshot (Prometheus text) to this file; \"-\" for stdout")
@@ -79,6 +80,13 @@ func main() {
 	l2, mol, err := buildCache(*cacheSpec, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *refProbe {
+		if mol == nil {
+			log.Fatal("-reference-probe requires a molecular cache")
+		}
+		mol.UseReferenceProbe(true)
 	}
 
 	if *faultsPath != "" {

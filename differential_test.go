@@ -1,0 +1,257 @@
+// Differential oracle for the fast-path access pipeline: every
+// configuration drives two identically seeded molecular caches — one on
+// the O(1) block index, one forced onto the original linear probe scan
+// (UseReferenceProbe) — through the same randomized trace with resize
+// controllers ticking, a mesh attached and (in half the configurations)
+// an identical fault campaign scheduled against each. The two caches
+// must agree access by access on the full engine.Result, on every
+// coherence probe, and at the end on ledgers, probe histograms,
+// degradation counters, telemetry snapshots and structural captures.
+// Any divergence means the index lost lock on the model the goldens pin.
+package molcache_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"molcache/internal/faults"
+	"molcache/internal/invariant"
+	"molcache/internal/molecular"
+	"molcache/internal/noc"
+	"molcache/internal/resize"
+	"molcache/internal/rng"
+	"molcache/internal/telemetry"
+	"molcache/internal/trace"
+)
+
+// diffAccesses is the trace length per configuration (the acceptance
+// floor is 10k; a little headroom costs nothing).
+const diffAccesses = 12_000
+
+// diffFaultCampaign schedules hard failures, corruptions and three NoC
+// windows — the middle one past the Ulmo retry budget, so abandoned
+// sweeps and the unreachable-tile bypass are exercised too.
+func diffFaultCampaign() faults.Campaign {
+	return faults.Campaign{
+		Seed: 7,
+		RandomMoleculeFailures: &faults.RandomSpec{
+			Count: 6, Start: 2_000, End: 11_000,
+		},
+		RandomLineCorruptions: &faults.RandomSpec{
+			Count: 80, Start: 500, End: 11_500,
+		},
+		NoCDelays: []faults.NoCDelay{
+			{At: 3_000, Duration: 400, ExtraCycles: 3, DropAttempts: 2},
+			{At: 6_000, Duration: 300, ExtraCycles: 5, DropAttempts: 6},
+			{At: 9_000, Duration: 200, ExtraCycles: 2, DropAttempts: 3},
+		},
+	}
+}
+
+// diffCache builds one side of the pair: cache, shared region, mesh,
+// resize controller (with the post-pass invariant audit on, which also
+// verifies the block index after every grow/shrink/rebalance), registry
+// and, when asked, a fault injector expanded from the shared campaign.
+func diffCache(t *testing.T, cfg molecular.Config, withFaults bool) (*molecular.Cache, *resize.Controller, *telemetry.Registry) {
+	t.Helper()
+	c, err := molecular.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateRegion(molecular.SharedASID, molecular.RegionOptions{
+		HomeCluster: 0, HomeTile: 0, InitialMolecules: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := noc.ForTiles(cfg.Clusters * cfg.TilesPerCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachInterconnect(mesh); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.AttachTelemetry(nil, reg)
+	if withFaults {
+		inj, err := faults.NewInjector(diffFaultCampaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachFaults(inj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctrl, err := resize.New(c, resize.Config{
+		Period:        400,
+		MinPeriod:     200,
+		MaxPeriod:     5_000,
+		MaxAllocation: 4,
+		DefaultGoal:   0.2,
+		DebugCheck:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctrl, reg
+}
+
+// diffTrace generates the randomized reference stream: three private
+// applications with distinct hot sets and long tails, a trickle of
+// shared-region traffic (which also exercises the shared-region
+// self-lookup), and a 30% write mix.
+func diffTrace(seed uint64) []trace.Ref {
+	src := rng.New(seed)
+	refs := make([]trace.Ref, 0, diffAccesses)
+	for i := 0; i < diffAccesses; i++ {
+		var asid uint16
+		switch {
+		case src.Intn(32) == 0:
+			asid = molecular.SharedASID
+		default:
+			asid = uint16(1 + src.Intn(3))
+		}
+		var block uint64
+		if src.Intn(4) > 0 {
+			block = uint64(src.Intn(512)) // hot set: mostly hits
+		} else {
+			block = uint64(src.Intn(8192)) // tail: misses and evictions
+		}
+		kind := trace.Read
+		if src.Intn(10) < 3 {
+			kind = trace.Write
+		}
+		refs = append(refs, trace.Ref{
+			Addr: uint64(asid)<<32 | block*64,
+			ASID: asid,
+			Kind: kind,
+		})
+	}
+	return refs
+}
+
+// stripIndexMetrics removes the molcache_index_* instruments — the only
+// telemetry allowed to differ between the two paths (the oracle never
+// consults the index, so its lookup/hit counters stay zero).
+func stripIndexMetrics(s telemetry.Snapshot) telemetry.Snapshot {
+	for name := range s.Counters {
+		if strings.HasPrefix(name, "molcache_index_") {
+			delete(s.Counters, name)
+		}
+	}
+	for name := range s.Gauges {
+		if strings.HasPrefix(name, "molcache_index_") {
+			delete(s.Gauges, name)
+		}
+	}
+	return s
+}
+
+// TestDifferentialFastPathVsReferenceProbe is the oracle lock: every
+// replacement policy × line factor × fault toggle, 12k accesses each,
+// zero tolerated divergence anywhere the model is observable.
+func TestDifferentialFastPathVsReferenceProbe(t *testing.T) {
+	policies := []molecular.ReplacementKind{
+		molecular.RandomReplacement, molecular.RandyReplacement, molecular.LRUDirect,
+	}
+	for _, policy := range policies {
+		for _, lineFactor := range []int{1, 2, 4} {
+			for _, withFaults := range []bool{false, true} {
+				name := fmt.Sprintf("%s/lf%d/faults=%v", policy, lineFactor, withFaults)
+				policy, lineFactor, withFaults := policy, lineFactor, withFaults
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					cfg := molecular.Config{
+						TotalSize:       512 << 10,
+						MoleculeSize:    8 << 10,
+						TilesPerCluster: 4,
+						Clusters:        2,
+						Policy:          policy,
+						LineFactor:      lineFactor,
+						Seed:            2006,
+					}
+					fast, fastCtrl, fastReg := diffCache(t, cfg, withFaults)
+					ref, refCtrl, refReg := diffCache(t, cfg, withFaults)
+					ref.UseReferenceProbe(true)
+
+					refs := diffTrace(42 + uint64(lineFactor))
+					probe := rng.New(99)
+					for i, r := range refs {
+						fr := fast.Access(r)
+						rr := ref.Access(r)
+						if fr != rr {
+							t.Fatalf("access %d (%v): fast %+v != reference %+v", i, r, fr, rr)
+						}
+						fastCtrl.Tick()
+						refCtrl.Tick()
+						// Interleave coherence traffic: the probes must
+						// agree, and the invalidations must mutate both
+						// caches identically.
+						if i%29 == 0 {
+							a := uint64(1+probe.Intn(3))<<32 | uint64(probe.Intn(1024))*64
+							if fc, rc := fast.Contains(a), ref.Contains(a); fc != rc {
+								t.Fatalf("access %d: Contains(%#x) fast %v != reference %v", i, a, fc, rc)
+							}
+						}
+						if i%113 == 0 {
+							a := refs[probe.Intn(i+1)].Addr
+							fp, fd := fast.Invalidate(a)
+							rp, rd := ref.Invalidate(a)
+							if fp != rp || fd != rd {
+								t.Fatalf("access %d: Invalidate(%#x) fast (%v,%v) != reference (%v,%v)",
+									i, a, fp, fd, rp, rd)
+							}
+						}
+						if i > 0 && i%4_000 == 0 {
+							tile := (i / 4_000) % cfg.TilesPerCluster
+							if err := fast.Rehome(1, tile); err != nil {
+								t.Fatal(err)
+							}
+							if err := ref.Rehome(1, tile); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+
+					if !reflect.DeepEqual(*fast.Ledger(), *ref.Ledger()) {
+						t.Errorf("ledgers diverged: fast %+v, reference %+v", *fast.Ledger(), *ref.Ledger())
+					}
+					for _, asid := range []uint16{1, 2, 3, molecular.SharedASID} {
+						if f, r := fast.Ledger().App(asid), ref.Ledger().App(asid); f != r {
+							t.Errorf("asid %d ledger diverged: fast %+v, reference %+v", asid, f, r)
+						}
+					}
+					if !reflect.DeepEqual(fast.ProbeHistogram(), ref.ProbeHistogram()) {
+						t.Error("probe histograms diverged")
+					}
+					if f, r := fast.RemoteCycles(), ref.RemoteCycles(); f != r {
+						t.Errorf("remote cycles diverged: fast %d, reference %d", f, r)
+					}
+					if f, r := fast.Degradation(), ref.Degradation(); f != r {
+						t.Errorf("degradation stats diverged: fast %+v, reference %+v", f, r)
+					}
+					fs := stripIndexMetrics(fastReg.Snapshot())
+					rs := stripIndexMetrics(refReg.Snapshot())
+					if !reflect.DeepEqual(fs.Counters, rs.Counters) {
+						t.Errorf("telemetry counters diverged:\nfast: %v\nreference: %v", fs.Counters, rs.Counters)
+					}
+					if !reflect.DeepEqual(fs.Gauges, rs.Gauges) {
+						t.Errorf("telemetry gauges diverged:\nfast: %v\nreference: %v", fs.Gauges, rs.Gauges)
+					}
+
+					// Structural captures must match exactly — including the
+					// block index, which the reference cache maintains too —
+					// and audit clean under every rule.
+					fc, rc := invariant.CaptureCache(fast), invariant.CaptureCache(ref)
+					if !reflect.DeepEqual(fc, rc) {
+						t.Error("invariant captures diverged")
+					}
+					if vs := invariant.Check(fc); len(vs) != 0 {
+						t.Errorf("fast capture has violations: %v", vs)
+					}
+				})
+			}
+		}
+	}
+}

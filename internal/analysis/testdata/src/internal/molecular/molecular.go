@@ -1,0 +1,48 @@
+// Package molecular is a molvet fixture seeded with the failure shapes
+// the fast-path block index makes tempting: leaking iteration order out
+// of an index-like map (two map-order findings) and stamping a region
+// identity into a molcache_index_* metric name with fmt.Sprintf (one
+// telemetry-names finding). Its import path ends in internal/molecular,
+// so the suffix-matched rule scoping treats it exactly like the real
+// simulation package. The literal-name registration at the bottom is
+// the sanctioned pattern and must stay diagnostic-free. The golden test
+// pins every expected diagnostic; edits here must be mirrored in
+// testdata/molecular.golden.
+package molecular
+
+import (
+	"fmt"
+
+	"molcache/internal/telemetry"
+)
+
+// Blocks leaks the index's iteration order: appending per iteration
+// publishes the runtime's random map walk (map-order).
+func Blocks(index map[uint64]int) []uint64 {
+	var out []uint64
+	for b := range index {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Holder returns an arbitrary winner of the map walk — an early exit
+// inside range-over-map (map-order).
+func Holder(index map[uint64]int) int {
+	for _, id := range index {
+		return id
+	}
+	return -1
+}
+
+// RegisterPerRegion stamps the ASID into the metric name itself
+// (telemetry-names) instead of appending a {label} block to a literal.
+func RegisterPerRegion(reg *telemetry.Registry, asid uint16) {
+	reg.Counter(fmt.Sprintf("molcache_index_%d_lookups_total", asid)).Inc()
+}
+
+// RegisterEntries is the sanctioned pattern — a literal molcache_index_*
+// name plus a label suffix — and must produce no diagnostics.
+func RegisterEntries(reg *telemetry.Registry, label string) {
+	reg.Counter("molcache_index_lookups_total" + label).Inc()
+}

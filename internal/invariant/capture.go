@@ -42,6 +42,7 @@ func CaptureCache(c *molecular.Cache) Snapshot {
 			HomeTile:   r.HomeTile().ID(),
 			Rows:       r.RowMolecules(),
 			TileCounts: r.TileCounts(),
+			Index:      r.IndexSnapshot(),
 		})
 	}
 	return s

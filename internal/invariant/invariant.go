@@ -33,6 +33,10 @@
 //     the directory's sharer set, and a dirty L1 copy means that cache
 //     owns the line dirty in the directory (the directory is allowed to
 //     be a conservative superset of the L1s, never the reverse).
+//  7. Index consistency: a region's fast-path block index names exactly
+//     the resident lines of the region's molecules — every resident
+//     line indexed to its holder, nothing else indexed. Skipped for
+//     snapshots captured without an index (RegionState.Index nil).
 //
 // A Checker wraps Capture + Check with an every-N-accesses cadence for
 // in-loop auditing (cmd/molsim's -check-invariants flag).
@@ -72,6 +76,9 @@ type RegionState struct {
 	Rows [][]int
 	// TileCounts is the per-tile molecule count index.
 	TileCounts map[int]int
+	// Index is the fast-path block index as block → molecule ID (nil
+	// skips the index-consistency rule).
+	Index map[uint64]int
 }
 
 // DirectoryLine is one MESI directory entry's audited view.
@@ -119,7 +126,7 @@ type Snapshot struct {
 type Violation struct {
 	// Rule names the invariant ("molecule-accounting", "duplicate-line",
 	// "asid-isolation", "region-accounting", "retired-state",
-	// "coherence-legality").
+	// "coherence-legality", "index-consistency").
 	Rule string
 	// Detail says what exactly is wrong, with the IDs involved.
 	Detail string
@@ -141,6 +148,7 @@ func Check(s Snapshot) []Violation {
 	checkMolecules(s, &vs)
 	checkRegions(s, &vs)
 	checkDuplicateLines(s, &vs)
+	checkIndexes(s, &vs)
 	checkCoherence(s, &vs)
 	return vs
 }
@@ -305,6 +313,46 @@ func checkDuplicateLines(s Snapshot, vs *violations) {
 					audit(m)
 				}
 			}
+		}
+	}
+}
+
+// checkIndexes enforces rule 7: each region's block index mirrors the
+// resident lines of its molecules exactly.
+func checkIndexes(s Snapshot, vs *violations) {
+	mols := make(map[int]*MoleculeState, len(s.Molecules))
+	for i := range s.Molecules {
+		mols[s.Molecules[i].ID] = &s.Molecules[i]
+	}
+	for _, r := range s.Regions {
+		if r.Index == nil {
+			continue
+		}
+		resident := 0
+		for _, row := range r.Rows {
+			for _, id := range row {
+				m := mols[id]
+				if m == nil {
+					continue
+				}
+				for _, b := range m.Blocks {
+					resident++
+					got, ok := r.Index[b]
+					if !ok {
+						vs.add("index-consistency",
+							"region %d: resident block %#x of molecule %d missing from the index",
+							r.ASID, b, id)
+					} else if got != id {
+						vs.add("index-consistency",
+							"region %d: block %#x resident in molecule %d but indexed to %d",
+							r.ASID, b, id, got)
+					}
+				}
+			}
+		}
+		if resident != len(r.Index) {
+			vs.add("index-consistency", "region %d: index holds %d entries, %d lines resident",
+				r.ASID, len(r.Index), resident)
 		}
 	}
 }

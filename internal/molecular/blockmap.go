@@ -1,0 +1,162 @@
+package molecular
+
+import "math/bits"
+
+// blockMap is the fast-path index's hash table: block number → holding
+// molecule, open-addressed with linear probing over a power-of-two
+// entry array and Fibonacci (multiplicative) hashing. The Go runtime
+// map it replaces was the single largest cost of a steady-state hit —
+// the generic hashing and bucket machinery cost more than the rest of
+// the lookup combined. This table does one multiply and, at the load
+// factors it maintains, usually one probe; lookups never allocate, and
+// growth happens only on insert, which is the miss path.
+//
+// Deletion marks a tombstone (a dead slot that keeps probe chains
+// intact); a rebuild amortizes tombstones away whenever live+dead
+// entries would pass 3/4 of capacity. Key 0 is a legal block number,
+// so slot state lives in the value pointer: nil = never used,
+// tombstoneMolecule = deleted.
+
+// tombstoneMolecule marks a deleted slot; it is never handed out.
+var tombstoneMolecule = &Molecule{id: -1}
+
+// blockMapMinSize is the smallest (and initial) table capacity.
+const blockMapMinSize = 64
+
+// blockHashMul is 2^64 / φ, the usual Fibonacci-hashing multiplier; the
+// high bits of the product avalanche well even for the dense small
+// integers block numbers are.
+const blockHashMul = 0x9e3779b97f4a7c15
+
+type blockEntry struct {
+	key uint64
+	val *Molecule
+}
+
+type blockMap struct {
+	entries []blockEntry
+	// shift is 64 - log2(len(entries)): the hash's high bits become the
+	// starting slot, so no masking is needed on the first probe.
+	shift uint
+	live  int
+	dead  int
+}
+
+// get returns the molecule holding block b, or nil.
+func (t *blockMap) get(b uint64) *Molecule {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.entries) - 1)
+	i := (b * blockHashMul) >> t.shift
+	for {
+		e := &t.entries[i]
+		if e.val == nil {
+			return nil
+		}
+		if e.key == b && e.val != tombstoneMolecule {
+			return e.val
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// set binds block b to molecule m, updating in place if b is present.
+func (t *blockMap) set(b uint64, m *Molecule) {
+	if len(t.entries) == 0 || (t.live+t.dead+1)*4 > len(t.entries)*3 {
+		t.rebuild()
+	}
+	mask := uint64(len(t.entries) - 1)
+	i := (b * blockHashMul) >> t.shift
+	free := -1
+	for {
+		e := &t.entries[i]
+		if e.val == nil {
+			// End of the probe chain: b is absent. Reuse the first
+			// tombstone passed on the way, if any.
+			if free >= 0 {
+				e = &t.entries[free]
+				t.dead--
+			}
+			e.key, e.val = b, m
+			t.live++
+			return
+		}
+		if e.val == tombstoneMolecule {
+			if free < 0 {
+				free = int(i)
+			}
+		} else if e.key == b {
+			e.val = m
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// remove drops the entry for b if (and only if) it names m, reporting
+// whether it did — the conditional the index maintenance contract needs
+// (a companion's eviction must not take a different holder's entry).
+func (t *blockMap) remove(b uint64, m *Molecule) bool {
+	if len(t.entries) == 0 {
+		return false
+	}
+	mask := uint64(len(t.entries) - 1)
+	i := (b * blockHashMul) >> t.shift
+	for {
+		e := &t.entries[i]
+		if e.val == nil {
+			return false
+		}
+		if e.key == b && e.val != tombstoneMolecule {
+			if e.val != m {
+				return false
+			}
+			e.val = tombstoneMolecule
+			t.live--
+			t.dead++
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// size returns the number of live entries.
+func (t *blockMap) size() int { return t.live }
+
+// each calls f for every live entry. The order is a deterministic
+// function of the insertion history, but callers must not depend on it;
+// it exists to build snapshots and run audits.
+func (t *blockMap) each(f func(b uint64, m *Molecule)) {
+	for i := range t.entries {
+		if v := t.entries[i].val; v != nil && v != tombstoneMolecule {
+			f(t.entries[i].key, v)
+		}
+	}
+}
+
+// rebuild re-tables every live entry into a capacity sized for the
+// current population (dropping all tombstones), growing as needed to
+// keep the post-insert load under 3/4.
+func (t *blockMap) rebuild() {
+	size := blockMapMinSize
+	for (t.live+1)*4 > size*3 {
+		size <<= 1
+	}
+	old := t.entries
+	t.entries = make([]blockEntry, size)
+	t.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	t.live, t.dead = 0, 0
+	mask := uint64(size - 1)
+	for _, e := range old {
+		if e.val == nil || e.val == tombstoneMolecule {
+			continue
+		}
+		i := (e.key * blockHashMul) >> t.shift
+		for t.entries[i].val != nil {
+			i = (i + 1) & mask
+		}
+		t.entries[i] = e
+		t.live++
+	}
+}

@@ -1,0 +1,115 @@
+package molecular
+
+// Direct tests of the open-addressed block → molecule table. The
+// differential oracle and the index property tests exercise it through
+// the cache; these pin the table's own contract — including the states
+// a full simulation may take long to reach (tombstone churn at a fixed
+// population, key 0, conditional removal against the wrong holder).
+
+import (
+	"testing"
+
+	"molcache/internal/rng"
+)
+
+func TestBlockMapBasics(t *testing.T) {
+	var bm blockMap
+	a, b := &Molecule{id: 1}, &Molecule{id: 2}
+
+	if got := bm.get(0); got != nil {
+		t.Fatalf("empty table returned %v for key 0", got)
+	}
+	bm.set(0, a) // key 0 is a legal block number
+	bm.set(7, b)
+	if bm.get(0) != a || bm.get(7) != b {
+		t.Fatal("lookups after insert disagree")
+	}
+	if bm.size() != 2 {
+		t.Fatalf("size = %d, want 2", bm.size())
+	}
+	bm.set(0, b) // in-place update
+	if bm.get(0) != b || bm.size() != 2 {
+		t.Fatal("update changed size or missed")
+	}
+	if bm.remove(7, a) {
+		t.Fatal("conditional remove succeeded against the wrong holder")
+	}
+	if bm.get(7) != b {
+		t.Fatal("failed conditional remove disturbed the entry")
+	}
+	if !bm.remove(7, b) || bm.get(7) != nil || bm.size() != 1 {
+		t.Fatal("remove of the right holder did not take")
+	}
+}
+
+// TestBlockMapTombstoneChurn holds the population fixed while cycling
+// keys through insert/delete far past the table capacity: rebuilds must
+// reclaim tombstones instead of growing without bound.
+func TestBlockMapTombstoneChurn(t *testing.T) {
+	var bm blockMap
+	m := &Molecule{id: 3}
+	const population = 100
+	for k := uint64(0); k < population; k++ {
+		bm.set(k, m)
+	}
+	for k := uint64(0); k < 100_000; k++ {
+		if !bm.remove(k, m) {
+			t.Fatalf("key %d missing before its deletion", k)
+		}
+		bm.set(k+population, m)
+		if bm.size() != population {
+			t.Fatalf("size drifted to %d", bm.size())
+		}
+	}
+	if cap := len(bm.entries); cap > 1024 {
+		t.Errorf("table grew to %d slots for a population of %d; tombstones leak", cap, population)
+	}
+	seen := 0
+	bm.each(func(k uint64, got *Molecule) {
+		if got != m {
+			t.Errorf("key %d bound to %v", k, got)
+		}
+		seen++
+	})
+	if seen != population {
+		t.Errorf("each visited %d entries, want %d", seen, population)
+	}
+}
+
+// TestBlockMapMirrorsMap drives a randomized op mix against the table
+// and a plain Go map and demands they never disagree.
+func TestBlockMapMirrorsMap(t *testing.T) {
+	var bm blockMap
+	oracle := make(map[uint64]*Molecule)
+	mols := []*Molecule{{id: 0}, {id: 1}, {id: 2}}
+	src := rng.New(0xb10c)
+	for i := 0; i < 200_000; i++ {
+		k := uint64(src.Intn(4096))
+		switch src.Intn(3) {
+		case 0:
+			m := mols[src.Intn(len(mols))]
+			bm.set(k, m)
+			oracle[k] = m
+		case 1:
+			m := mols[src.Intn(len(mols))]
+			if bm.remove(k, m) != (oracle[k] == m) {
+				t.Fatalf("op %d: conditional remove of %d disagreed", i, k)
+			}
+			if oracle[k] == m {
+				delete(oracle, k)
+			}
+		case 2:
+			if bm.get(k) != oracle[k] {
+				t.Fatalf("op %d: get(%d) = %v, oracle %v", i, k, bm.get(k), oracle[k])
+			}
+		}
+		if bm.size() != len(oracle) {
+			t.Fatalf("op %d: size %d, oracle %d", i, bm.size(), len(oracle))
+		}
+	}
+	bm.each(func(k uint64, m *Molecule) {
+		if oracle[k] != m {
+			t.Errorf("each yielded %d → %v, oracle %v", k, m, oracle[k])
+		}
+	})
+}

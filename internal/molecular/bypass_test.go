@@ -1,0 +1,146 @@
+package molecular
+
+// Tests that every bypassed access is accounted exactly like a cached
+// one — one ledger miss, one probe-histogram observation, one miss
+// counter tick — plus the bypass-specific counters, whether the bypass
+// came from an exhausted region (every molecule retired, no spares) or
+// from an ASID auto-admitted into a cache with nothing left to grant.
+// Before bypasses were routed through finish, these paths skipped parts
+// of the accounting and the ledgers drifted from the probe histogram.
+
+import (
+	"testing"
+
+	"molcache/internal/addr"
+	"molcache/internal/telemetry"
+	"molcache/internal/trace"
+)
+
+// retireEverything retires every not-yet-failed molecule, draining the
+// free pools so no region can ever grow again.
+func retireEverything(t *testing.T, c *Cache) {
+	t.Helper()
+	for id := 0; id < c.TotalMolecules(); id++ {
+		if m := c.Molecule(id); m != nil && !m.Failed() {
+			if _, err := c.RetireMolecule(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestBypassAccountingUniform(t *testing.T) {
+	c := MustNew(Config{
+		TotalSize:       64 * addr.KB,
+		MoleculeSize:    8 * addr.KB,
+		TilesPerCluster: 2,
+		Seed:            9,
+	})
+	reg := telemetry.NewRegistry()
+	c.AttachTelemetry(nil, reg)
+	if _, err := c.CreateRegion(1, RegionOptions{HomeCluster: 0, HomeTile: 0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Access(trace.Ref{Addr: 0x40, ASID: 1, Kind: trace.Read})
+	retireEverything(t, c)
+
+	r := c.Region(1)
+	if r.MoleculeCount() != 0 {
+		t.Fatalf("region still holds %d molecules after total retirement", r.MoleculeCount())
+	}
+
+	type snapshot struct {
+		misses, hits, probeCount uint64
+		appMisses                uint64
+		regionMisses             uint64
+		bypassCounter            uint64
+		bypassStat               uint64
+	}
+	capture := func() snapshot {
+		s := reg.Snapshot()
+		return snapshot{
+			misses:        c.Ledger().Total.Misses,
+			hits:          c.Ledger().Total.Hits,
+			probeCount:    c.ProbeHistogram().Count,
+			appMisses:     c.Ledger().App(1).Misses,
+			regionMisses:  r.Ledger().Misses,
+			bypassCounter: s.Counters["molcache_fault_uncached_bypasses_total"],
+			bypassStat:    c.Degradation().UncachedBypasses,
+		}
+	}
+
+	for _, reference := range []bool{false, true} {
+		c.UseReferenceProbe(reference)
+		before := capture()
+		res := c.Access(trace.Ref{Addr: 0x1240, ASID: 1, Kind: trace.Read})
+		after := capture()
+		if res.Hit || res.LinesFetched != 0 {
+			t.Fatalf("reference=%v: bypass produced %+v", reference, res)
+		}
+		if after.misses != before.misses+1 || after.hits != before.hits {
+			t.Errorf("reference=%v: ledger moved %d→%d misses, %d→%d hits; want exactly one miss",
+				reference, before.misses, after.misses, before.hits, after.hits)
+		}
+		if after.appMisses != before.appMisses+1 {
+			t.Errorf("reference=%v: per-ASID ledger recorded %d misses, want 1",
+				reference, after.appMisses-before.appMisses)
+		}
+		if after.regionMisses != before.regionMisses+1 {
+			t.Errorf("reference=%v: region ledger recorded %d misses, want 1",
+				reference, after.regionMisses-before.regionMisses)
+		}
+		if after.probeCount != before.probeCount+1 {
+			t.Errorf("reference=%v: probe histogram observed %d accesses, want 1",
+				reference, after.probeCount-before.probeCount)
+		}
+		if after.bypassCounter != before.bypassCounter+1 || after.bypassStat != before.bypassStat+1 {
+			t.Errorf("reference=%v: bypass counters moved (%d,%d), want (+1,+1)",
+				reference,
+				after.bypassCounter-before.bypassCounter,
+				after.bypassStat-before.bypassStat)
+		}
+	}
+}
+
+// TestBypassAccountingNewASID: an ASID first seen after the cache has
+// nothing left to grant gets a zero-molecule region, and its bypassed
+// accesses carry full accounting — the auto-admit path must not skip
+// the ledgers the normal path writes.
+func TestBypassAccountingNewASID(t *testing.T) {
+	c := MustNew(Config{
+		TotalSize:       64 * addr.KB,
+		MoleculeSize:    8 * addr.KB,
+		TilesPerCluster: 2,
+		Seed:            10,
+	})
+	reg := telemetry.NewRegistry()
+	c.AttachTelemetry(nil, reg)
+	retireEverything(t, c)
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		res := c.Access(trace.Ref{Addr: uint64(i) * 0x40, ASID: 7, Kind: trace.Read})
+		if res.Hit {
+			t.Fatalf("access %d hit a fully retired cache", i)
+		}
+	}
+	if got := c.Ledger().App(7).Misses; got != n {
+		t.Errorf("per-ASID ledger recorded %d misses, want %d", got, n)
+	}
+	if got := c.ProbeHistogram().Count; got != n {
+		t.Errorf("probe histogram observed %d accesses, want %d", got, n)
+	}
+	if got := c.Degradation().UncachedBypasses; got != n {
+		t.Errorf("UncachedBypasses = %d, want %d", got, n)
+	}
+	if got := reg.Snapshot().Counters["molcache_molecular_misses_total"]; got != n {
+		t.Errorf("miss counter = %d, want %d", got, n)
+	}
+	r := c.Region(7)
+	if r == nil {
+		t.Fatal("ASID 7 was never admitted")
+	}
+	if got := r.Ledger().Misses; got != n {
+		t.Errorf("region ledger recorded %d misses, want %d", got, n)
+	}
+}

@@ -2,6 +2,7 @@ package molecular
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"molcache/internal/addr"
@@ -127,13 +128,33 @@ type Cache struct {
 	cfg      Config
 	clusters []*Cluster
 	regions  map[uint16]*Region
+	// regionList mirrors regions sorted by ASID, so the coherence paths
+	// (Contains/Invalidate) and the index gauges iterate deterministically
+	// without rebuilding a slice per call.
+	regionList []*Region
+	// lastRegion memoizes the region of the most recent Access: traces
+	// are bursty per application and regions are never deleted, so a
+	// single ASID comparison replaces the map lookup on nearly every
+	// access.
+	lastRegion *Region
+	// sharedRegion caches the SharedASID region (nil until created);
+	// the lookup paths consult it on every access and every tile probe.
+	sharedRegion *Region
 	// molsByID indexes every molecule by its global ID (fault targeting
 	// and invariant capture).
 	molsByID []*Molecule
 
+	// refProbe routes lookups through the original linear probe scan
+	// instead of the block index — the differential oracle the fast path
+	// is locked against (UseReferenceProbe).
+	refProbe bool
+
 	linesPerMol uint64
-	clock       uint64 // logical time for LRU-Direct
-	nextHome    int    // round-robin auto-placement cursor
+	// lineShift is log2(LineSize) — the config validator guarantees a
+	// power of two, so the access path shifts instead of dividing.
+	lineShift uint
+	clock     uint64 // logical time for LRU-Direct
+	nextHome  int    // round-robin auto-placement cursor
 
 	ledger    stats.Ledger
 	global    stats.Window
@@ -174,6 +195,7 @@ func New(cfg Config) (*Cache, error) {
 		cfg:         cfg,
 		regions:     make(map[uint16]*Region),
 		linesPerMol: cfg.MoleculeSize / cfg.LineSize,
+		lineShift:   uint(bits.TrailingZeros64(cfg.LineSize)),
 		probes:      stats.NewHistogram(cfg.MoleculesPerTile()*cfg.TilesPerCluster + 1),
 		src:         rng.New(cfg.Seed ^ 0x5eed),
 	}
@@ -281,10 +303,20 @@ func (c *Cache) CreateRegion(asid uint16, opts RegionOptions) (*Region, error) {
 		lineSize:   c.cfg.LineSize,
 		lineFactor: lf,
 		molSize:    c.cfg.MoleculeSize,
-		byTile:     make(map[*Tile][]*Molecule),
+		rows:       make([][]*Molecule, 0, maxRows),
+		rowMiss:    make([]uint64, 0, maxRows),
+		byTile:     make([][]*Molecule, c.cfg.Clusters*c.cfg.TilesPerCluster),
 		src:        rng.New(c.cfg.Seed ^ uint64(asid)<<20 ^ 0xbeef),
 	}
+	r.appCell = c.ledger.AppRef(asid)
 	c.regions[asid] = r
+	if asid == SharedASID {
+		c.sharedRegion = r
+	}
+	c.regionList = append(c.regionList, r)
+	sort.Slice(c.regionList, func(i, j int) bool {
+		return c.regionList[i].asid < c.regionList[j].asid
+	})
 	c.growSpread(r, initial)
 	if c.ins != nil {
 		c.ins.regionMakes.Inc()
@@ -329,13 +361,20 @@ func (c *Cache) Region(asid uint16) *Region { return c.regions[asid] }
 
 // Regions returns all partitions sorted by ASID.
 func (c *Cache) Regions() []*Region {
-	out := make([]*Region, 0, len(c.regions))
-	for _, r := range c.regions {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].asid < out[j].asid })
+	out := make([]*Region, len(c.regionList))
+	copy(out, c.regionList)
 	return out
 }
+
+// UseReferenceProbe switches lookups between the O(1) block index (the
+// default) and the original linear probe scan. Both produce identical
+// results, ledgers and telemetry — the linear model is kept as the
+// differential oracle the fast path is tested against, and as the
+// baseline the access benchmarks compare with.
+func (c *Cache) UseReferenceProbe(on bool) { c.refProbe = on }
+
+// ReferenceProbe reports whether the linear oracle path is active.
+func (c *Cache) ReferenceProbe() bool { return c.refProbe }
 
 // Grow allocates up to n molecules to region r from its home cluster,
 // placing each per the policy's growth rule. It returns how many were
@@ -459,83 +498,44 @@ func (c *Cache) Rebalance(r *Region) bool {
 // molecules to the region. A region is created on first touch
 // (round-robin placement) if the application was never admitted
 // explicitly.
+//
+// The default lookup consults the per-region block index (O(1) in the
+// partition size) and computes the modelled TagProbes count from tile
+// geometry; UseReferenceProbe(true) switches to the original linear
+// molecule scan. Both paths produce identical results.
 func (c *Cache) Access(ref trace.Ref) engine.Result {
 	c.clock++
 	c.addresses++
 	if c.faults != nil {
 		c.applyScheduledFaults()
 	}
-	r := c.regions[ref.ASID]
-	if r == nil {
-		var err error
-		r, err = c.CreateRegion(ref.ASID, RegionOptions{HomeCluster: -1, HomeTile: -1})
-		if err != nil {
-			// Auto-admit can fail once degradation has exhausted the
-			// placement space; serve the access uncached instead of dying.
-			res := engine.Result{}
-			c.ledger.Record(ref.ASID, false)
-			c.global.Record(false)
-			c.probes.Observe(0)
-			c.deg.UncachedBypasses++
-			if c.ins != nil {
-				c.ins.misses.Inc()
-				c.ins.bypasses.Inc()
+	r := c.lastRegion
+	if r == nil || r.asid != ref.ASID {
+		r = c.regions[ref.ASID]
+		if r == nil {
+			var err error
+			r, err = c.CreateRegion(ref.ASID, RegionOptions{HomeCluster: -1, HomeTile: -1})
+			if err != nil {
+				// Auto-admit can fail once degradation has exhausted the
+				// placement space; serve the access uncached instead of dying.
+				return c.bypassMiss(nil, ref, engine.Result{})
 			}
-			if c.tracer != nil {
-				c.tracer.Access(c.addresses, ref.ASID, ref.Addr, false, false, 0, 0)
-			}
-			return res
 		}
+		c.lastRegion = r
 	}
-	block := ref.Addr / c.cfg.LineSize
+	block := ref.Addr >> c.lineShift
 	write := kindIsWrite(ref.Kind)
-	res := engine.Result{}
 
-	// Stage 1: home tile (plus any shared molecules resident there).
-	if hit, probes := c.probeTile(r, r.home, ref.ASID, block, write); hit {
-		res.Hit = true
-		res.TagProbes = probes
-		res.DataReads = 1
-		c.finish(r, ref, res)
-		return res
+	var res engine.Result
+	var unreachable bool
+	if c.refProbe {
+		unreachable = c.referenceLookup(r, block, write, &res)
 	} else {
-		res.TagProbes += probes
+		unreachable = c.fastLookup(r, block, write, &res)
 	}
-
-	// Stage 2: Ulmo searches only the sibling tiles whose molecules
-	// contribute to the application's region (or hold shared-bit
-	// molecules, which serve every ASID).
-	shared := c.regions[SharedASID]
-	unreachable := false
-	for _, t := range r.home.cluster.tiles {
-		if t == r.home {
-			continue
-		}
-		if len(r.byTile[t]) == 0 && (shared == nil || len(shared.byTile[t]) == 0) {
-			continue
-		}
-		if !c.ulmoTraverse(r.home.id, t.id) {
-			// The delay fault outlasted the Ulmo's retry budget: this
-			// tile's molecules are unreachable for the current access.
-			unreachable = true
-			continue
-		}
-		if hit, probes := c.probeTile(r, t, ref.ASID, block, write); hit {
-			res.Hit = true
-			res.RemoteTileHit = true
-			res.TagProbes += probes
-			res.DataReads = 1
-			if c.mesh != nil {
-				// The data line rides the mesh back to the home tile.
-				if lat, err := c.mesh.Traverse(t.id, r.home.id); err == nil {
-					c.remoteCycles += lat
-				}
-			}
-			c.finish(r, ref, res)
-			return res
-		} else {
-			res.TagProbes += probes
-		}
+	if res.Hit {
+		c.finish(r, ref, &res)
+		return res
 	}
 
 	// Miss: fetch lineFactor lines into the policy's victim molecule.
@@ -554,57 +554,170 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 	}
 	victim := r.victim(ref.Addr, block)
 	if r.lineFactor > 1 {
-		// The group companions may already be resident in sibling
-		// molecules; duplicates would go stale, so the fill
-		// back-invalidates them (counting their dirty writebacks).
-		group := block &^ uint64(r.lineFactor-1)
-		for i := 0; i < r.lineFactor; i++ {
-			b := group + uint64(i)
-			if b == block {
-				continue
-			}
-			for _, m := range r.molecules() {
-				if m == victim {
-					continue
-				}
-				if present, dirty := m.invalidate(b); present && dirty {
-					res.Writebacks++
-				}
-			}
-		}
+		c.invalidateCompanions(r, victim, block)
 	}
-	evicted, wb := victim.fill(block, r.lineFactor, write, c.clock)
+	evicted, wb := r.fillVictim(victim, block, write, c.clock)
 	r.rowMiss[victim.row]++
 	res.LinesFetched = r.lineFactor
 	res.LinesEvicted = evicted
 	res.Writebacks = wb
-	c.finish(r, ref, res)
+	c.finish(r, ref, &res)
 	return res
 }
 
-// probeTile probes the region's molecules on tile t (and t's shared-bit
-// molecules), returning hit status and the number of molecules activated.
-// All eligible molecules on a tile are enabled in parallel by the ASID
-// comparison stage, so the energy-relevant probe count is the full
+// fastLookup is the block-index access path: one (or two, with a shared
+// region present) map lookups decide hit/miss and locate the holding
+// molecule, while TagProbes — the modelled count of molecules a real
+// Molecular cache would enable in parallel — is computed from the
+// region's per-tile population, tile by tile, exactly as the linear
+// probe model accumulates it. The Ulmo sweep over contributing sibling
+// tiles still happens per tile (mesh latency, NoC fault windows and
+// retry accounting are per-traversal effects), but no molecule is
+// scanned.
+func (c *Cache) fastLookup(r *Region, block uint64, write bool, res *engine.Result) (unreachable bool) {
+	shared := c.sharedRegion
+	sharedHere := shared != nil && shared.home.cluster == r.home.cluster
+	hitM := r.index.get(block)
+	if hitM == nil && sharedHere && shared != r {
+		hitM = shared.index.get(block)
+	}
+	if c.ins != nil {
+		c.ins.indexLookups.Inc()
+	}
+
+	// Stage 1: home tile (plus any shared molecules resident there).
+	res.TagProbes = c.tileProbes(r, shared, r.home)
+	if hitM != nil && hitM.tile == r.home {
+		hitM.recordHit(block, write, c.clock)
+		res.Hit = true
+		res.DataReads = 1
+		if c.ins != nil {
+			c.ins.indexHits.Inc()
+		}
+		return false
+	}
+
+	// Stage 2: Ulmo sweep of the contributing sibling tiles, in tile
+	// order, stopping at the holder's tile.
+	for _, t := range r.home.cluster.tiles {
+		if t == r.home {
+			continue
+		}
+		if len(r.byTile[t.id]) == 0 && (shared == nil || len(shared.byTile[t.id]) == 0) {
+			continue
+		}
+		if !c.ulmoTraverse(r.home.id, t.id) {
+			// The delay fault outlasted the Ulmo's retry budget: this
+			// tile's molecules are unreachable for the current access —
+			// even when the index knows the line is resident there.
+			unreachable = true
+			continue
+		}
+		res.TagProbes += c.tileProbes(r, shared, t)
+		if hitM != nil && hitM.tile == t {
+			hitM.recordHit(block, write, c.clock)
+			res.Hit = true
+			res.RemoteTileHit = true
+			res.DataReads = 1
+			if c.mesh != nil {
+				// The data line rides the mesh back to the home tile.
+				if lat, err := c.mesh.Traverse(t.id, r.home.id); err == nil {
+					c.remoteCycles += lat
+				}
+			}
+			if c.ins != nil {
+				c.ins.indexHits.Inc()
+			}
+			return false
+		}
+	}
+	return unreachable
+}
+
+// referenceLookup is the original linear probe model, kept as the
+// differential oracle: every eligible molecule on each searched tile is
+// scanned until the line is found. Results, ledgers and molecule state
+// are identical to fastLookup's; only the discovery mechanics differ.
+func (c *Cache) referenceLookup(r *Region, block uint64, write bool, res *engine.Result) (unreachable bool) {
+	// Stage 1: home tile (plus any shared molecules resident there).
+	if hit, probes := c.probeTile(r, r.home, block, write); hit {
+		res.Hit = true
+		res.TagProbes = probes
+		res.DataReads = 1
+		return false
+	} else {
+		res.TagProbes += probes
+	}
+
+	// Stage 2: Ulmo searches only the sibling tiles whose molecules
+	// contribute to the application's region (or hold shared-bit
+	// molecules, which serve every ASID).
+	shared := c.sharedRegion
+	for _, t := range r.home.cluster.tiles {
+		if t == r.home {
+			continue
+		}
+		if len(r.byTile[t.id]) == 0 && (shared == nil || len(shared.byTile[t.id]) == 0) {
+			continue
+		}
+		if !c.ulmoTraverse(r.home.id, t.id) {
+			unreachable = true
+			continue
+		}
+		if hit, probes := c.probeTile(r, t, block, write); hit {
+			res.Hit = true
+			res.RemoteTileHit = true
+			res.TagProbes += probes
+			res.DataReads = 1
+			if c.mesh != nil {
+				if lat, err := c.mesh.Traverse(t.id, r.home.id); err == nil {
+					c.remoteCycles += lat
+				}
+			}
+			return false
+		} else {
+			res.TagProbes += probes
+		}
+	}
+	return unreachable
+}
+
+// tileProbes returns the modelled probe count for one tile: every
+// molecule the region owns there plus every shared-bit molecule
+// answering on that tile. All of them are enabled in parallel by the
+// ASID comparison stage, so the energy-relevant count is the full
 // eligible population of every tile searched, independent of where (or
 // whether) the hit lands.
-func (c *Cache) probeTile(r *Region, t *Tile, asid uint16, block uint64, write bool) (bool, int) {
-	own := r.byTile[t]
+func (c *Cache) tileProbes(r, shared *Region, t *Tile) int {
+	n := len(r.byTile[t.id])
+	if shared != nil && shared.home.cluster == t.cluster {
+		n += len(shared.byTile[t.id])
+	}
+	return n
+}
+
+// probeTile is the reference path's per-tile scan: the region's
+// molecules on tile t (and t's shared-bit molecules) are searched
+// linearly, returning hit status and the number of molecules activated.
+func (c *Cache) probeTile(r *Region, t *Tile, block uint64, write bool) (bool, int) {
+	own := r.byTile[t.id]
 	probes := len(own)
 	hit := false
 	for _, m := range own {
-		if m.probe(block, write, c.clock) {
+		if m.contains(block) {
+			m.recordHit(block, write, c.clock)
 			hit = true
 			break
 		}
 	}
 	// Shared molecules respond to all ASIDs on the tile.
-	if shared := c.regions[SharedASID]; shared != nil && shared.home.cluster == t.cluster {
-		sh := shared.byTile[t]
+	if shared := c.sharedRegion; shared != nil && shared.home.cluster == t.cluster {
+		sh := shared.byTile[t.id]
 		probes += len(sh)
 		if !hit {
 			for _, m := range sh {
-				if m.probe(block, write, c.clock) {
+				if m.contains(block) {
+					m.recordHit(block, write, c.clock)
 					hit = true
 					break
 				}
@@ -614,14 +727,57 @@ func (c *Cache) probeTile(r *Region, t *Tile, asid uint16, block uint64, write b
 	return hit, probes
 }
 
+// invalidateCompanions drops the victim's group companions from any
+// sibling molecule of the region before a lineFactor > 1 fill:
+// duplicates would go silently stale. The dropped copies' dirty state
+// is not charged to the access — the fill's own writeback count is the
+// modelled quantity (matching the original accounting the goldens pin).
+func (c *Cache) invalidateCompanions(r *Region, victim *Molecule, block uint64) {
+	group := block &^ uint64(r.lineFactor-1)
+	for i := 0; i < r.lineFactor; i++ {
+		b := group + uint64(i)
+		if b == block {
+			continue
+		}
+		if c.refProbe {
+			// Oracle path: discover holders by the original row-major
+			// linear scan.
+			for _, row := range r.rows {
+				for _, m := range row {
+					if m == victim {
+						continue
+					}
+					if present, _ := m.invalidate(b); present {
+						r.indexRemove(b, m)
+					}
+				}
+			}
+			continue
+		}
+		if m := r.index.get(b); m != nil && m != victim {
+			m.invalidate(b)
+			r.indexRemove(b, m)
+		}
+	}
+}
+
 // finish records ledgers, windows and probe accounting for one access,
 // and — when telemetry is attached — the counters and the access event.
-func (c *Cache) finish(r *Region, ref trace.Ref, res engine.Result) {
-	c.ledger.Record(ref.ASID, res.Hit)
+// r may be nil for an access bypassed before any region existed (the
+// auto-admit failure path); cache-wide accounting still happens.
+func (c *Cache) finish(r *Region, ref trace.Ref, res *engine.Result) {
 	c.global.Record(res.Hit)
-	r.window.Record(res.Hit)
-	r.ledger.Record(res.Hit)
-	r.occupancySum += uint64(r.count)
+	if r != nil {
+		// r.appCell is r's cell in c.ledger, cached at region creation —
+		// this is c.ledger.Record(ref.ASID, …) without the map lookup.
+		c.ledger.Total.Record(res.Hit)
+		r.appCell.Record(res.Hit)
+		r.window.Record(res.Hit)
+		r.ledger.Record(res.Hit)
+		r.occupancySum += uint64(r.count)
+	} else {
+		c.ledger.Record(ref.ASID, res.Hit)
+	}
 	c.probes.Observe(uint64(res.TagProbes))
 	if c.ins != nil {
 		if res.Hit {
@@ -643,37 +799,68 @@ func (c *Cache) finish(r *Region, ref trace.Ref, res engine.Result) {
 }
 
 // Contains reports whether the line holding a is resident in any molecule
-// (coherence/test probe; no state change).
+// (coherence/test probe; no state change). The fast path consults each
+// region's block index; the reference path repeats the original
+// exhaustive molecule scan.
 func (c *Cache) Contains(a uint64) bool {
 	block := a / c.cfg.LineSize
-	for _, cl := range c.clusters {
-		for _, t := range cl.tiles {
-			for _, m := range t.molecules {
-				if m.owned || m.shared {
-					if m.contains(block) {
-						return true
+	if c.refProbe {
+		for _, cl := range c.clusters {
+			for _, t := range cl.tiles {
+				for _, m := range t.molecules {
+					if m.owned || m.shared {
+						if m.contains(block) {
+							return true
+						}
 					}
 				}
 			}
+		}
+		return false
+	}
+	for _, r := range c.regionList {
+		if r.index.get(block) != nil {
+			return true
 		}
 	}
 	return false
 }
 
 // Invalidate drops the line holding a wherever it is resident
-// (inter-cluster coherence back-invalidation via the Ulmos).
+// (inter-cluster coherence back-invalidation via the Ulmos). Within one
+// region the holder is unique, so the fast path drops at most one line
+// per region via the block index; the reference path sweeps every
+// molecule, keeping the index in step.
 func (c *Cache) Invalidate(a uint64) (present, dirty bool) {
 	block := a / c.cfg.LineSize
-	for _, cl := range c.clusters {
-		for _, t := range cl.tiles {
-			for _, m := range t.molecules {
-				if !m.owned && !m.shared {
-					continue
+	if c.refProbe {
+		for _, cl := range c.clusters {
+			for _, t := range cl.tiles {
+				for _, m := range t.molecules {
+					if !m.owned && !m.shared {
+						continue
+					}
+					p, d := m.invalidate(block)
+					if p {
+						if r := c.regions[m.asid]; r != nil {
+							r.indexRemove(block, m)
+						}
+					}
+					present = present || p
+					dirty = dirty || d
 				}
-				p, d := m.invalidate(block)
-				present = present || p
-				dirty = dirty || d
 			}
+		}
+		return present, dirty
+	}
+	for _, r := range c.regionList {
+		if m := r.index.get(block); m != nil {
+			p, d := m.invalidate(block)
+			if p {
+				r.indexRemove(block, m)
+			}
+			present = present || p
+			dirty = dirty || d
 		}
 	}
 	return present, dirty
@@ -804,6 +991,9 @@ func (c *Cache) CheckInvariants() error {
 				}
 				owned[m.id] = asid
 			}
+		}
+		if err := r.checkIndex(); err != nil {
+			return err
 		}
 		total += r.count
 	}

@@ -167,7 +167,15 @@ func (c *Cache) CorruptLine(moleculeID, line int) (wasValid, wasDirty bool, err 
 	if m.failed {
 		return false, false, nil
 	}
+	tag := m.lines[line].tag
 	wasValid, wasDirty = m.corrupt(line)
+	if wasValid && m.owned {
+		// The lost line must leave the owner's block index too, or the
+		// fast path would report a phantom hit on the dropped tag.
+		if r := c.regions[m.asid]; r != nil {
+			r.indexRemove(tag, m)
+		}
+	}
 	if wasValid {
 		c.deg.LineCorruptions++
 		if wasDirty {
@@ -265,14 +273,17 @@ func (c *Cache) ulmoTraverse(from, to int) (reachable bool) {
 }
 
 // bypassMiss serves an access from memory without installing the line —
-// the degradation path for a region with no molecules left, or for a
+// the degradation path for a region with no molecules left, for a
 // lookup whose contributing tiles never answered (filling then could
-// duplicate a line still resident remotely).
+// duplicate a line still resident remotely), or — with r nil — for an
+// access whose region could not even be auto-admitted. All bypasses
+// flow through finish, so ledger, probe-histogram and telemetry
+// accounting is uniform with cached accesses.
 func (c *Cache) bypassMiss(r *Region, ref trace.Ref, res engine.Result) engine.Result {
 	c.deg.UncachedBypasses++
 	if c.ins != nil {
 		c.ins.bypasses.Inc()
 	}
-	c.finish(r, ref, res)
+	c.finish(r, ref, &res)
 	return res
 }

@@ -1,0 +1,139 @@
+package molecular
+
+import "fmt"
+
+// This file is the fast-path block index: a per-region table from block
+// number to the molecule holding it, maintained at every point a line
+// enters or leaves a molecule the region owns (fill, companion
+// back-invalidation, coherence invalidation, line corruption, molecule
+// withdrawal, retirement and rebalance). The index answers hit/miss in
+// O(1) while the *modelled* probe count — the energy-relevant quantity
+// the paper's selective enablement minimizes — is still computed from
+// region/tile geometry, so simulated results are identical to the
+// linear probe model the index replaces (Cache.UseReferenceProbe keeps
+// that model alive as a differential oracle).
+//
+// Invariant: r.index[b] == m exactly when molecule m is owned by r and
+// holds a valid line with tag b. Within one region the holder is unique
+// (the lookup-domain uniqueness rule internal/invariant enforces), so a
+// flat block → molecule table (blockmap.go) suffices. Shared-bit molecules are indexed by the shared
+// region itself; a requestor's lookup consults its own region's index
+// and then the shared region's.
+
+// indexAdd records m as the holder of block.
+func (r *Region) indexAdd(block uint64, m *Molecule) {
+	r.index.set(block, m)
+}
+
+// indexRemove drops the index entry for block if (and only if) it names
+// m — a stale entry for a different holder must survive its companion's
+// eviction.
+func (r *Region) indexRemove(block uint64, m *Molecule) {
+	r.index.remove(block, m)
+}
+
+// indexMolecule registers every resident line of m. Molecules normally
+// arrive at a region flushed (free-pool discipline), so this is a cheap
+// sweep over invalid lines; it keeps attach correct even for a molecule
+// carrying residue.
+func (r *Region) indexMolecule(m *Molecule) {
+	for i := range m.lines {
+		if m.lines[i].valid {
+			r.indexAdd(m.lines[i].tag, m)
+		}
+	}
+}
+
+// unindexMolecule withdraws every resident line of m from the index —
+// the detach/retire/rebalance half of the maintenance contract, run
+// before the flush destroys the tags.
+func (r *Region) unindexMolecule(m *Molecule) {
+	for i := range m.lines {
+		if m.lines[i].valid {
+			r.indexRemove(m.lines[i].tag, m)
+		}
+	}
+}
+
+// fillVictim installs the lineFactor-aligned group containing block into
+// victim, keeping the index in step: tags about to be evicted leave the
+// index, the installed group enters it. It returns fill's eviction and
+// writeback counts.
+func (r *Region) fillVictim(victim *Molecule, block uint64, write bool, clock uint64) (evicted, writebacks int) {
+	group := block &^ uint64(r.lineFactor-1)
+	for i := 0; i < r.lineFactor; i++ {
+		b := group + uint64(i)
+		if ln := &victim.lines[victim.index(b)]; ln.valid {
+			r.indexRemove(ln.tag, victim)
+		}
+	}
+	evicted, writebacks = victim.fill(block, r.lineFactor, write, clock)
+	for i := 0; i < r.lineFactor; i++ {
+		r.indexAdd(group+uint64(i), victim)
+	}
+	return evicted, writebacks
+}
+
+// IndexSize returns the number of resident lines the index tracks.
+func (r *Region) IndexSize() int { return r.index.size() }
+
+// IndexSnapshot returns the index as block → molecule ID — the invariant
+// checker's (and property tests') view of the fast-path structure.
+func (r *Region) IndexSnapshot() map[uint64]int {
+	out := make(map[uint64]int, r.index.size())
+	r.index.each(func(b uint64, m *Molecule) {
+		out[b] = m.id
+	})
+	return out
+}
+
+// checkIndex verifies the index against the replacement view: every
+// resident line of every owned molecule is indexed to that molecule,
+// and the index holds nothing else. The per-tile slices are audited
+// too (every listed molecule on the right tile, widths summing to the
+// region count).
+func (r *Region) checkIndex() error {
+	resident := 0
+	for _, row := range r.rows {
+		for _, m := range row {
+			for i := range m.lines {
+				if !m.lines[i].valid {
+					continue
+				}
+				resident++
+				tag := m.lines[i].tag
+				if holder := r.index.get(tag); holder != m {
+					hid := -1
+					if holder != nil {
+						hid = holder.id
+					}
+					return fmt.Errorf("region %d: block %#x resident in molecule %d but indexed to %d",
+						r.asid, tag, m.id, hid)
+				}
+			}
+		}
+	}
+	if resident != r.index.size() {
+		return fmt.Errorf("region %d: index holds %d entries, %d lines resident",
+			r.asid, r.index.size(), resident)
+	}
+	byTile := 0
+	for tid, ms := range r.byTile {
+		for _, m := range ms {
+			if m.tile.id != tid {
+				return fmt.Errorf("region %d: molecule %d listed under tile %d but sits on tile %d",
+					r.asid, m.id, tid, m.tile.id)
+			}
+			if !m.owned || m.asid != r.asid {
+				return fmt.Errorf("region %d: tile index lists molecule %d owned=%v asid=%d",
+					r.asid, m.id, m.owned, m.asid)
+			}
+			byTile++
+		}
+	}
+	if byTile != r.count {
+		return fmt.Errorf("region %d: tile index lists %d molecules, count is %d",
+			r.asid, byTile, r.count)
+	}
+	return nil
+}

@@ -53,8 +53,9 @@ type Molecule struct {
 	// counter Algorithm 1 reads to decide where to add and what to
 	// withdraw.
 	missCount uint64
-	// hits and accesses accumulate for the lifetime of the assignment;
-	// they feed the HPM metric (Figure 6).
+	// hits and accesses accumulate for the lifetime of the assignment
+	// (recorded for the molecule a hit actually lands in, whichever
+	// lookup path — block index or linear probe — found it).
 	hits     uint64
 	accesses uint64
 }
@@ -109,20 +110,19 @@ func (m *Molecule) index(block uint64) int {
 	return int(block % uint64(len(m.lines)))
 }
 
-// probe performs the direct-mapped lookup for block, updating hit
-// bookkeeping. write marks the line dirty on a hit.
-func (m *Molecule) probe(block uint64, write bool, clock uint64) bool {
-	m.accesses++
+// recordHit applies the bookkeeping of a probe hit on block: the line's
+// LRU timestamp advances, a write marks it dirty, and the molecule's
+// lifetime counters tick. The caller has already established residency —
+// through the region's block index on the fast path, or a linear scan on
+// the reference path — so both paths leave identical molecule state.
+func (m *Molecule) recordHit(block uint64, write bool, clock uint64) {
 	ln := &m.lines[m.index(block)]
-	if ln.valid && ln.tag == block {
-		if write {
-			ln.dirty = true
-		}
-		ln.touch = clock
-		m.hits++
-		return true
+	if write {
+		ln.dirty = true
 	}
-	return false
+	ln.touch = clock
+	m.hits++
+	m.accesses++
 }
 
 // fill installs the lineFactor-aligned group of lines containing block.

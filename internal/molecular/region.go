@@ -38,10 +38,15 @@ type Region struct {
 	// rows is the replacement view. Every molecule in the region
 	// appears in exactly one row; rows[i][j].row == i.
 	rows [][]*Molecule
-	// byTile indexes the region's molecules by physical tile for the
-	// hierarchical lookup (home tile first, then Ulmo sweep).
-	byTile map[*Tile][]*Molecule
-	count  int
+	// byTile indexes the region's molecules by global tile ID for the
+	// hierarchical lookup (home tile first, then Ulmo sweep). It is
+	// preallocated to the cache's tile count so the access path never
+	// allocates or hashes.
+	byTile [][]*Molecule
+	// index is the fast-path block index: block number → the molecule
+	// holding it (see index.go for the maintenance contract).
+	index blockMap
+	count int
 
 	// rowMiss counts replacements per row since the last epoch
 	// (Randy's placement signal).
@@ -51,6 +56,10 @@ type Region struct {
 	window stats.Window
 	// lifetime counts for reporting.
 	ledger stats.HitMiss
+	// appCell is this ASID's cell in the cache-wide ledger
+	// (stats.Ledger.AppRef), cached at creation so the access path
+	// records per-application counts without a map lookup.
+	appCell *stats.HitMiss
 
 	// occupancySum accumulates the molecule count at every access so
 	// HPM can use the time-weighted average partition size.
@@ -97,11 +106,14 @@ func (r *Region) RowMolecules() [][]int {
 }
 
 // TileCounts returns the region's molecule count per physical tile ID
-// (the byTile index the hierarchical lookup walks).
+// (the byTile index the hierarchical lookup walks). Only tiles holding
+// at least one molecule appear.
 func (r *Region) TileCounts() map[int]int {
-	out := make(map[int]int, len(r.byTile))
-	for t, ms := range r.byTile {
-		out[t.id] = len(ms)
+	out := make(map[int]int)
+	for tid, ms := range r.byTile {
+		if len(ms) > 0 {
+			out[tid] = len(ms)
+		}
 	}
 	return out
 }
@@ -233,7 +245,8 @@ func (r *Region) attach(m *Molecule, rowIdx int) {
 	m.row = rowIdx
 	m.resetCounters()
 	r.rows[rowIdx] = append(r.rows[rowIdx], m)
-	r.byTile[m.tile] = append(r.byTile[m.tile], m)
+	r.byTile[m.tile.id] = append(r.byTile[m.tile.id], m)
+	r.indexMolecule(m)
 	r.count++
 }
 
@@ -257,16 +270,14 @@ func (r *Region) detach(m *Molecule) (writebacks int) {
 	if !found {
 		panic(fmt.Sprintf("molecular: molecule %d missing from its row", m.id))
 	}
-	tl := r.byTile[m.tile]
+	tl := r.byTile[m.tile.id]
 	for i, x := range tl {
 		if x == m {
-			r.byTile[m.tile] = append(tl[:i], tl[i+1:]...)
+			r.byTile[m.tile.id] = append(tl[:i], tl[i+1:]...)
 			break
 		}
 	}
-	if len(r.byTile[m.tile]) == 0 {
-		delete(r.byTile, m.tile)
-	}
+	r.unindexMolecule(m)
 	wb := m.flush()
 	m.owned = false
 	m.shared = false

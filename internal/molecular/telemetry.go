@@ -29,6 +29,11 @@ type instruments struct {
 	nocRetries       *telemetry.Counter
 	nocAbandoned     *telemetry.Counter
 	bypasses         *telemetry.Counter
+
+	// Fast-path block-index counters (only ticked on the index path, so
+	// a reference-probe cache reports zero for both).
+	indexLookups *telemetry.Counter
+	indexHits    *telemetry.Counter
 }
 
 // AttachTelemetry routes the cache's observations through a tracer
@@ -63,7 +68,18 @@ func (c *Cache) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 		nocRetries:       reg.Counter("molcache_fault_noc_retries_total"),
 		nocAbandoned:     reg.Counter("molcache_fault_noc_abandoned_lookups_total"),
 		bypasses:         reg.Counter("molcache_fault_uncached_bypasses_total"),
+
+		indexLookups: reg.Counter("molcache_index_lookups_total"),
+		indexHits:    reg.Counter("molcache_index_hits_total"),
 	}
+	reg.RegisterGaugeFunc("molcache_index_entries",
+		func() float64 {
+			n := 0
+			for _, r := range c.regionList {
+				n += r.index.size()
+			}
+			return float64(n)
+		})
 	reg.RegisterGaugeFunc("molcache_molecular_free_molecules",
 		func() float64 { return float64(c.FreeMolecules()) })
 	reg.RegisterGaugeFunc("molcache_fault_retired_molecules",

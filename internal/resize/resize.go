@@ -70,6 +70,12 @@ type Config struct {
 	// CostCyclesPerApp models the daemon's compute cost (default 1500,
 	// the paper's measured figure).
 	CostCyclesPerApp uint64
+	// DebugCheck audits the cache's structural invariants (including the
+	// fast-path block index) after every resize pass. The controller
+	// panics on a violation — resize passes mutate the replacement view
+	// and the index together, so corruption here must stop the run at
+	// the mutation, not at some later divergence. Test/debug aid.
+	DebugCheck bool
 }
 
 func (c Config) withDefaults() Config {
@@ -266,6 +272,7 @@ func (c *Controller) Tick() bool {
 		c.resizeAll()
 		c.adaptGlobal()
 		c.nextAt = c.cache.Addresses() + c.period
+		c.debugCheck()
 		return true
 	case AdaptivePerApp:
 		fired := false
@@ -288,6 +295,9 @@ func (c *Controller) Tick() bool {
 			}
 			s.nextAt = r.Ledger().Accesses() + s.period
 			fired = true
+		}
+		if fired {
+			c.debugCheck()
 		}
 		return fired
 	default:
@@ -520,6 +530,19 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		}
 	}
 	return miss
+}
+
+// debugCheck audits the cache's structural invariants when
+// Config.DebugCheck is set, and panics on the first violation — a
+// resize pass that corrupted the replacement view or the block index
+// must stop the run at the mutation, not at a later divergence.
+func (c *Controller) debugCheck() {
+	if !c.cfg.DebugCheck {
+		return
+	}
+	if err := c.cache.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("resize: invariant violated after resize pass: %v", err))
+	}
 }
 
 func clamp(v, lo, hi uint64) uint64 {

@@ -65,6 +65,14 @@ type Ledger struct {
 // Record adds one access for the given ASID.
 func (l *Ledger) Record(asid uint16, hit bool) {
 	l.Total.Record(hit)
+	l.AppRef(asid).Record(hit)
+}
+
+// AppRef returns the stable counter cell for one ASID, creating it if
+// needed. The pointer stays valid until Reset; hot paths cache it so a
+// per-access Record needs no map lookup (the caller must still bump
+// Total itself).
+func (l *Ledger) AppRef(asid uint16) *HitMiss {
 	if l.perApp == nil {
 		l.perApp = make(map[uint16]*HitMiss)
 	}
@@ -73,7 +81,7 @@ func (l *Ledger) Record(asid uint16, hit bool) {
 		hm = &HitMiss{}
 		l.perApp[asid] = hm
 	}
-	hm.Record(hit)
+	return hm
 }
 
 // App returns the counters for one ASID (zero value if never seen).

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench bench-micro fuzz faults clean
+.PHONY: all build test race vet lint bench bench-micro fuzz faults obs-smoke clean
 
 all: build vet lint test
 
@@ -26,13 +26,17 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # BENCH_OUT receives the access-path benchmark snapshot (ns/op,
-# allocs/op and fast-over-reference speedup per configuration) as a
-# telemetry JSON — the machine-readable perf trajectory CI archives.
+# allocs/op and fast-over-reference speedup per configuration);
+# BENCH_OBS_OUT the span-tracing overhead snapshot (disabled, unsampled,
+# sampled and always-on variants). Both are telemetry JSON — the
+# machine-readable perf trajectories CI archives.
 BENCH_OUT ?= BENCH_access.json
+BENCH_OBS_OUT ?= BENCH_obs.json
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 	BENCH_OUT=$(BENCH_OUT) $(GO) test -run '^TestWriteAccessBench$$' -count=1 .
+	BENCH_OBS_OUT=$(BENCH_OBS_OUT) $(GO) test -run '^TestWriteObsBench$$' -count=1 .
 
 # Just the hot-path micro benches (fast; includes the telemetry
 # overhead comparison).
@@ -44,6 +48,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCompressedReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParseTextLine -fuzztime $(FUZZTIME) ./internal/trace
+
+# Start molsim with -serve, curl every introspection endpoint and assert
+# well-formed, non-empty output (the CI smoke for the live observability
+# plane).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Drive the bundled fault campaign through molsim with invariant audits;
 # exits nonzero on any violation or undelivered failure.

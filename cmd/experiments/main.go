@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"molcache/internal/experiments"
+	"molcache/internal/obs"
 	"molcache/internal/telemetry"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	refs := flag.Int("refs", 0, "processor references per experiment (0 = default 48M)")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs per experiment (0 = GOMAXPROCS, 1 = serial)")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	var prof telemetry.ProfileConfig
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -44,7 +47,17 @@ func main() {
 		}
 	}()
 
-	opt := experiments.Options{ProcessorRefs: *refs, Seed: *seed, Jobs: *jobs}
+	pipe, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pipe.Close()
+	if pipe.Server != nil {
+		log.Printf("introspection server on http://%s (scheduler events and metrics; no region topology here — that is molsim -serve)", pipe.Server.Addr())
+	}
+
+	opt := experiments.Options{ProcessorRefs: *refs, Seed: *seed, Jobs: *jobs,
+		Tracer: pipe.Tracer, Registry: pipe.Registry}
 	want := strings.ToLower(*run)
 	valid := map[string]bool{
 		"all": true, "table1": true, "figure5": true, "table2": true,

@@ -32,6 +32,7 @@ import (
 	"molcache/internal/invariant"
 	"molcache/internal/metrics"
 	"molcache/internal/molecular"
+	"molcache/internal/obs"
 	"molcache/internal/resize"
 	"molcache/internal/stats"
 	"molcache/internal/tabletext"
@@ -53,9 +54,12 @@ func main() {
 	faultsPath := flag.String("faults", "", "fault campaign JSON to inject (molecular caches only)")
 	refProbe := flag.Bool("reference-probe", false, "use the linear probe oracle instead of the fast-path block index (molecular caches only; results are identical, simulation is slower)")
 	checkEvery := flag.Uint64("check-invariants", 0, "audit structural invariants every N L2 accesses (0 disables)")
-	eventsOut := flag.String("events", "", "write telemetry events (JSONL) to this file")
-	metricsOut := flag.String("metrics", "", "write a final metrics snapshot (Prometheus text) to this file; \"-\" for stdout")
-	snapshotEvery := flag.Duration("snapshot-every", 0, "also stream periodic JSON metrics snapshots to stderr at this interval")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
+	obsFlags.RegisterSpans(flag.CommandLine)
+	publishEvery := flag.Uint64("publish-every", 65536, "with -serve, refresh the introspection snapshot every N L2 accesses")
+	serveLinger := flag.Duration("serve-linger", 0, "with -serve, keep the introspection server up this long after the run completes")
+	explainResize := flag.Bool("explain-resize", false, "print the tail of the resize decision log after the run (molecular caches only)")
 	var prof telemetry.ProfileConfig
 	// -trace already means "binary trace to replay", so the execution
 	// trace takes the -exectrace name here.
@@ -114,20 +118,51 @@ func main() {
 		}
 	}
 
-	tr, reg, finishTelemetry, err := setupTelemetry(*eventsOut, *metricsOut, *snapshotEvery)
+	pipe, err := obsFlags.Setup()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer finishTelemetry()
-	if tr != nil || reg != nil {
+	defer pipe.Close()
+	if pipe.Tracer != nil || pipe.Registry != nil {
 		if mol != nil {
-			mol.AttachTelemetry(tr, reg)
+			mol.AttachTelemetry(pipe.Tracer, pipe.Registry)
 		} else if tc, ok := l2.(*cache.Cache); ok {
-			tc.AttachTelemetry(reg, "l2")
+			tc.AttachTelemetry(pipe.Registry, "l2")
 		}
 		if ctrl != nil {
-			ctrl.AttachTelemetry(tr, reg)
+			ctrl.AttachTelemetry(pipe.Tracer, pipe.Registry)
 		}
+	}
+	if pipe.Spans != nil {
+		if !engine.AttachSpans(l2, pipe.Spans) {
+			log.Print("-trace-out: this cache has no traceable access pipeline; the span trace will be empty")
+		}
+		if ctrl != nil {
+			ctrl.AttachSpans(pipe.Spans)
+		}
+	}
+	if pipe.Server != nil {
+		log.Printf("introspection server on http://%s", pipe.Server.Addr())
+	}
+
+	// With -serve, republish the introspection snapshot every
+	// -publish-every L2 accesses from the simulation goroutine (handlers
+	// never touch live state). The initial publish makes the endpoints
+	// meaningful before the first interval elapses.
+	var onAccess func()
+	if pipe.Publisher != nil {
+		every := *publishEvery
+		if every == 0 {
+			every = 1
+		}
+		var accesses uint64
+		onAccess = func() {
+			accesses++
+			if accesses%every == 0 {
+				pipe.Publish(mol, ctrl)
+			}
+		}
+		pipe.Publish(mol, ctrl)
 	}
 
 	var (
@@ -137,9 +172,9 @@ func main() {
 	)
 	switch {
 	case *traceIn != "":
-		asids, names, chk = replayTrace(*traceIn, l2, mol, ctrl, *checkEvery)
+		asids, names, chk = replayTrace(*traceIn, l2, mol, ctrl, *checkEvery, onAccess)
 	case *mix != "":
-		asids, names, chk, err = runMix(*mix, l2, ctrl, *refs, *seed, *checkEvery)
+		asids, names, chk, err = runMix(*mix, l2, ctrl, *refs, *seed, *checkEvery, onAccess)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -149,68 +184,54 @@ func main() {
 	if chk != nil {
 		chk.Run() // final audit after the last access
 	}
+	pipe.Publish(mol, ctrl) // final snapshot for lingering servers
 
 	report(l2, mol, ctrl, asids, names, *goal)
-	if !reportFaults(mol, chk) {
-		finishTelemetry()
+	if *explainResize {
+		explainResizeLog(ctrl, names)
+	}
+	ok := reportFaults(mol, chk)
+	if pipe.Server != nil && *serveLinger > 0 {
+		log.Printf("lingering on http://%s for %s", pipe.Server.Addr(), *serveLinger)
+		time.Sleep(*serveLinger)
+	}
+	if !ok {
+		pipe.Close()
 		stopProf()
 		os.Exit(1)
 	}
 }
 
-// setupTelemetry builds the tracer/registry requested by the -events,
-// -metrics and -snapshot-every flags. The returned finish func flushes
-// the event sink, stops the snapshot ticker and writes the final
-// metrics file; it is safe to call when nothing was requested.
-func setupTelemetry(eventsOut, metricsOut string,
-	snapshotEvery time.Duration) (*telemetry.Tracer, *telemetry.Registry, func(), error) {
-	var (
-		tr        *telemetry.Tracer
-		reg       *telemetry.Registry
-		eventsF   *os.File
-		stopSnaps func() error
-	)
-	if eventsOut != "" {
-		f, err := os.Create(eventsOut)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		eventsF = f
-		tr = telemetry.NewTracer(0)
-		tr.SetSink(telemetry.NewJSONLSink(f))
+// explainResizeTail is how many trailing decisions -explain-resize
+// prints; the full log is available over -serve at /decisions.
+const explainResizeTail = 50
+
+// explainResizeLog prints the tail of the controller's decision log:
+// every Algorithm 1 evaluation with its inputs, the action taken and
+// the reason the controller chose it.
+func explainResizeLog(ctrl *resize.Controller, names map[uint16]string) {
+	if ctrl == nil {
+		log.Print("-explain-resize requires a molecular cache with a resize controller")
+		return
 	}
-	if metricsOut != "" || snapshotEvery > 0 {
-		reg = telemetry.NewRegistry()
+	decs := ctrl.Decisions()
+	total := ctrl.DecisionCount()
+	if len(decs) == 0 {
+		fmt.Println("resize decisions: none recorded")
+		return
 	}
-	if snapshotEvery > 0 {
-		stopSnaps = telemetry.StartPeriodicSnapshots(reg, os.Stderr, snapshotEvery)
+	if len(decs) > explainResizeTail {
+		decs = decs[len(decs)-explainResizeTail:]
 	}
-	finish := func() {
-		if stopSnaps != nil {
-			if err := stopSnaps(); err != nil {
-				log.Print(err)
-			}
+	fmt.Printf("resize decisions (last %d of %d):\n", len(decs), total)
+	for _, d := range decs {
+		app := names[d.ASID]
+		if app == "" {
+			app = fmt.Sprintf("asid%d", d.ASID)
 		}
-		if tr != nil {
-			if err := tr.Flush(); err != nil {
-				log.Print(err)
-			}
-		}
-		if eventsF != nil {
-			if err := eventsF.Close(); err != nil {
-				log.Print(err)
-			}
-		}
-		if reg != nil && metricsOut != "" {
-			text := reg.Snapshot().PrometheusString()
-			if metricsOut == "-" {
-				fmt.Print(text)
-			} else if err := os.WriteFile(metricsOut, []byte(text), 0o644); err != nil {
-				log.Print(err)
-			}
-		}
+		fmt.Printf("  #%-5d @%-9d %-8s miss %.3f vs goal %.3f  %-11s %+3d -> %3d  %s\n",
+			d.Seq, d.At, app, d.MissRate, d.Goal, d.Action, d.Delta, d.SizeAfter, d.Reason)
 	}
-	return tr, reg, finish, nil
 }
 
 // buildCache parses the -cache spec.
@@ -294,9 +315,10 @@ func parseSize(s string) (uint64, error) {
 	return n * mul, nil
 }
 
-// runMix drives the CMP substrate over the shared cache.
+// runMix drives the CMP substrate over the shared cache. onAccess,
+// when non-nil, runs after every L2 access (the -serve publish hook).
 func runMix(mix string, l2 engine.Cache, ctrl *resize.Controller,
-	refs int, seed uint64, checkEvery uint64) ([]uint16, map[uint16]string, *invariant.Checker, error) {
+	refs int, seed uint64, checkEvery uint64, onAccess func()) ([]uint16, map[uint16]string, *invariant.Checker, error) {
 	sys, err := cmp.New(l2, cmp.Config{})
 	if err != nil {
 		return nil, nil, nil, err
@@ -305,13 +327,16 @@ func runMix(mix string, l2 engine.Cache, ctrl *resize.Controller,
 	if checkEvery > 0 {
 		chk = invariant.NewChecker(invariant.SystemSource(sys), checkEvery)
 	}
-	if ctrl != nil || chk != nil {
+	if ctrl != nil || chk != nil || onAccess != nil {
 		sys.OnL2Access = func(trace.Ref, engine.Result) {
 			if ctrl != nil {
 				ctrl.Tick()
 			}
 			if chk != nil {
 				chk.Tick()
+			}
+			if onAccess != nil {
+				onAccess()
 			}
 		}
 	}
@@ -335,8 +360,10 @@ func runMix(mix string, l2 engine.Cache, ctrl *resize.Controller,
 }
 
 // replayTrace feeds a recorded binary trace straight into the cache.
+// onAccess, when non-nil, runs after every access (the -serve publish
+// hook).
 func replayTrace(path string, l2 engine.Cache, mol *molecular.Cache,
-	ctrl *resize.Controller, checkEvery uint64) ([]uint16, map[uint16]string, *invariant.Checker) {
+	ctrl *resize.Controller, checkEvery uint64, onAccess func()) ([]uint16, map[uint16]string, *invariant.Checker) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -367,6 +394,9 @@ func replayTrace(path string, l2 engine.Cache, mol *molecular.Cache,
 		}
 		if chk != nil {
 			chk.Tick()
+		}
+		if onAccess != nil {
+			onAccess()
 		}
 		if !seen[ref.ASID] {
 			seen[ref.ASID] = true

@@ -1,0 +1,205 @@
+// Command moltop is a polling terminal dashboard over a molcache
+// introspection server (a simulation started with -serve): per-ASID
+// region occupancy, miss rate against goal, the last resize action and
+// headline cache metrics, refreshed in place like top(1).
+//
+// Usage:
+//
+//	molsim -cache molecular:6MB:3x4:Randy -mix crafty,CRC,DRR -serve :9464 &
+//	moltop -addr localhost:9464
+//	moltop -addr localhost:9464 -once          # one snapshot, no screen control
+//	moltop -addr localhost:9464 -interval 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"molcache/internal/obs"
+	"molcache/internal/tabletext"
+	"molcache/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("moltop: ")
+	addr := flag.String("addr", "localhost:9464", "introspection server address (host:port or URL)")
+	interval := flag.Duration("interval", time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		frame, err := render(client, base)
+		if err != nil {
+			if *once {
+				log.Fatal(err)
+			}
+			frame = fmt.Sprintf("moltop: %v (retrying every %s)\n", err, *interval)
+		}
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Clear and re-home like top(1); one Write per frame avoids tearing.
+		os.Stdout.WriteString("\x1b[H\x1b[2J" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// fetch GETs path and returns the body.
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return body, nil
+}
+
+// render fetches /regions and /metrics and formats one dashboard frame.
+func render(client *http.Client, base string) (string, error) {
+	regionsBody, err := fetch(client, base+"/regions")
+	if err != nil {
+		return "", err
+	}
+	var st obs.State
+	if err := json.Unmarshal(regionsBody, &st); err != nil {
+		return "", fmt.Errorf("bad /regions payload: %w", err)
+	}
+	metricsBody, err := fetch(client, base+"/metrics")
+	if err != nil {
+		return "", err
+	}
+	snap, err := telemetry.ParsePrometheus(strings.NewReader(string(metricsBody)))
+	if err != nil {
+		return "", fmt.Errorf("bad /metrics payload: %w", err)
+	}
+
+	var b strings.Builder
+	name := st.Cache
+	if name == "" {
+		name = "(no state published yet)"
+	}
+	fmt.Fprintf(&b, "moltop — %s @ %s\n", name, base)
+	fmt.Fprintf(&b, "accesses %d   miss rate %.4f   free molecules %d   remote cycles %d\n\n",
+		st.Accesses, st.MissRate, st.FreeMolecules, st.RemoteCycles)
+
+	t := tabletext.New("regions",
+		"asid", "molecules", "tiles", "accesses", "miss rate", "goal", "excess", "last resize")
+	for _, r := range st.Regions {
+		asid := fmt.Sprintf("%d", r.ASID)
+		if r.Shared {
+			asid += " (shared)"
+		}
+		goal, excess := "-", "-"
+		if r.Goal > 0 {
+			goal = fmt.Sprintf("%.3f", r.Goal)
+			excess = fmt.Sprintf("%+.3f", r.Deviation)
+		}
+		last := "-"
+		if d := r.LastResize; d != nil {
+			last = fmt.Sprintf("%s %+d @%d", d.Action, d.Delta, d.At)
+		}
+		t.AddRow(asid,
+			fmt.Sprintf("%d", r.Molecules),
+			tileSummary(r.Tiles),
+			fmt.Sprintf("%d", r.Accesses),
+			fmt.Sprintf("%.4f", r.MissRate),
+			goal, excess, last)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+
+	m := tabletext.New("cache metrics", "metric", "value")
+	for _, k := range []string{
+		"molcache_molecular_hits_total",
+		"molcache_molecular_misses_total",
+		"molcache_molecular_remote_tile_hits_total",
+		"molcache_molecular_tag_probes_total",
+	} {
+		if v, ok := snap.Counters[k]; ok {
+			m.AddRow(k, fmt.Sprintf("%d", v))
+		}
+	}
+	// Resize actions are labeled per action; fold them into one line.
+	if total, detail := sumLabeled(snap.Counters, "molcache_resize_actions_total"); total > 0 {
+		m.AddRow("molcache_resize_actions_total", fmt.Sprintf("%d (%s)", total, detail))
+	}
+	for _, k := range []string{
+		"molcache_molecular_avg_probes_per_access",
+		"noc_average_hops",
+		"noc_wire_energy_nj",
+	} {
+		if v, ok := snap.Gauges[k]; ok {
+			m.AddRow(k, fmt.Sprintf("%.3f", v))
+		}
+	}
+	for _, k := range []string{
+		"molcache_molecular_probe_count",
+		"molcache_access_service_cycles",
+		"noc_hop_latency_cycles",
+	} {
+		if h, ok := snap.Histograms[k]; ok && h.Count > 0 {
+			m.AddRow(k+" (mean)", fmt.Sprintf("%.2f over %d", h.Sum/float64(h.Count), h.Count))
+		}
+	}
+	b.WriteString(m.String())
+	return b.String(), nil
+}
+
+// sumLabeled folds a labeled counter family (`name{label="v"}`) into a
+// total plus a sorted "v:n v:n" breakdown.
+func sumLabeled(counters map[string]uint64, name string) (uint64, string) {
+	var total uint64
+	var keys []string
+	for k := range counters {
+		if strings.HasPrefix(k, name+"{") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		total += counters[k]
+		label := strings.TrimSuffix(strings.TrimPrefix(k, name+"{"), "}")
+		if i := strings.IndexByte(label, '='); i >= 0 {
+			label = strings.Trim(label[i+1:], `"`)
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", label, counters[k]))
+	}
+	return total, strings.Join(parts, " ")
+}
+
+// tileSummary renders a compact tile:count list, e.g. "0:12 1:4".
+func tileSummary(tiles []obs.TileCount) string {
+	if len(tiles) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(tiles))
+	for i, tc := range tiles {
+		parts[i] = fmt.Sprintf("%d:%d", tc.Tile, tc.Molecules)
+	}
+	return strings.Join(parts, " ")
+}

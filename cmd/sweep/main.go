@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"molcache/internal/experiments"
+	"molcache/internal/obs"
 	"molcache/internal/telemetry"
 )
 
@@ -34,7 +35,8 @@ func main() {
 	lfF := flag.String("linefactors", "1", "line factors (lines per miss) to sweep")
 	seed := flag.Uint64("seed", 2006, "simulation seed")
 	jobs := flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = serial)")
-	metricsOut := flag.String("metrics", "", "write a final metrics snapshot (Prometheus text) to this file")
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	var prof telemetry.ProfileConfig
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -49,15 +51,13 @@ func main() {
 		}
 	}()
 
-	var reg *telemetry.Registry
-	if *metricsOut != "" {
-		reg = telemetry.NewRegistry()
-		defer func() {
-			text := reg.Snapshot().PrometheusString()
-			if err := os.WriteFile(*metricsOut, []byte(text), 0o644); err != nil {
-				log.Print(err)
-			}
-		}()
+	pipe, err := obsFlags.Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pipe.Close()
+	if pipe.Server != nil {
+		log.Printf("introspection server on http://%s (scheduler events and metrics; no region topology here — that is molsim -serve)", pipe.Server.Addr())
 	}
 
 	opt := experiments.SweepOptions{
@@ -65,7 +65,8 @@ func main() {
 		Seed:          *seed,
 		Goal:          *goal,
 		Jobs:          *jobs,
-		Registry:      reg,
+		Tracer:        pipe.Tracer,
+		Registry:      pipe.Registry,
 	}
 	if opt.Sizes, err = experiments.ParseSizes(*sizesF); err != nil {
 		log.Fatal(err)

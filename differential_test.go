@@ -6,7 +6,10 @@
 // an identical fault campaign scheduled against each. The two caches
 // must agree access by access on the full engine.Result, on every
 // coherence probe, and at the end on ledgers, probe histograms,
-// degradation counters, telemetry snapshots and structural captures.
+// degradation counters, telemetry snapshots, resize decision logs and
+// structural captures. The fast side additionally carries the whole
+// observability plane (span tracing, state collection/publication), so
+// the same equalities prove that observing a run never changes it.
 // Any divergence means the index lost lock on the model the goldens pin.
 package molcache_test
 
@@ -20,6 +23,7 @@ import (
 	"molcache/internal/invariant"
 	"molcache/internal/molecular"
 	"molcache/internal/noc"
+	"molcache/internal/obs"
 	"molcache/internal/resize"
 	"molcache/internal/rng"
 	"molcache/internal/telemetry"
@@ -175,6 +179,17 @@ func TestDifferentialFastPathVsReferenceProbe(t *testing.T) {
 					ref, refCtrl, refReg := diffCache(t, cfg, withFaults)
 					ref.UseReferenceProbe(true)
 
+					// The observability plane rides the fast side only:
+					// span tracing on the access pipeline and resize
+					// ticks, plus periodic state collection/publication.
+					// The reference side stays uninstrumented, so every
+					// equality below doubles as proof that observing the
+					// simulation never changes it.
+					spans := telemetry.NewSpanTracer(7, 0)
+					fast.AttachSpans(spans)
+					fastCtrl.AttachSpans(spans)
+					pub := obs.NewPublisher()
+
 					refs := diffTrace(42 + uint64(lineFactor))
 					probe := rng.New(99)
 					for i, r := range refs {
@@ -212,6 +227,9 @@ func TestDifferentialFastPathVsReferenceProbe(t *testing.T) {
 								t.Fatal(err)
 							}
 						}
+						if i%1_000 == 0 {
+							pub.Publish(obs.Collect(fast, fastCtrl, fastReg))
+						}
 					}
 
 					if !reflect.DeepEqual(*fast.Ledger(), *ref.Ledger()) {
@@ -238,6 +256,28 @@ func TestDifferentialFastPathVsReferenceProbe(t *testing.T) {
 					}
 					if !reflect.DeepEqual(fs.Gauges, rs.Gauges) {
 						t.Errorf("telemetry gauges diverged:\nfast: %v\nreference: %v", fs.Gauges, rs.Gauges)
+					}
+					if !reflect.DeepEqual(fs.Histograms, rs.Histograms) {
+						t.Errorf("telemetry histograms diverged:\nfast: %v\nreference: %v", fs.Histograms, rs.Histograms)
+					}
+
+					// Both controllers saw identical miss-rate windows, so
+					// their reasoned decision logs must match entry for
+					// entry — and the instrumented side must actually have
+					// traced something, without dropping any of it.
+					if !reflect.DeepEqual(fastCtrl.Decisions(), refCtrl.Decisions()) {
+						t.Errorf("decision logs diverged:\nfast: %+v\nreference: %+v",
+							fastCtrl.Decisions(), refCtrl.Decisions())
+					}
+					if spans.Len() == 0 || spans.SampledAccesses() == 0 {
+						t.Errorf("span tracer recorded nothing (%d spans, %d sampled accesses)",
+							spans.Len(), spans.SampledAccesses())
+					}
+					if spans.Drops() != 0 {
+						t.Errorf("span tracer dropped %d spans", spans.Drops())
+					}
+					if st := pub.Latest(); st == nil || st.Accesses == 0 || len(st.Regions) == 0 {
+						t.Errorf("publisher never captured a usable state: %+v", st)
 					}
 
 					// Structural captures must match exactly — including the

@@ -11,11 +11,12 @@
 //     the global math/rand source, and never emits output in map
 //     iteration order.
 //   - concurrency discipline: goroutines and channels are confined to
-//     internal/runner and internal/telemetry, so the simulation core
-//     stays single-threaded by construction and the race detector's
-//     clean bill actually means something.
-//   - telemetry discipline: metric names are grep-able string literals
-//     in the project namespaces, never assembled with fmt.Sprintf.
+//     internal/runner, internal/telemetry and internal/obs, so the
+//     simulation core stays single-threaded by construction and the
+//     race detector's clean bill actually means something.
+//   - telemetry discipline: metric and span names are grep-able string
+//     literals in the project namespaces, never assembled with
+//     fmt.Sprintf.
 //   - error discipline: library packages reserve panic for constructor
 //     validation and documented contracts, and telemetry sinks never
 //     drop Write/Flush/Close errors.
@@ -92,6 +93,10 @@ func DefaultConfig() Config {
 		ConcurrencyAllowed: []string{
 			"internal/runner",
 			"internal/telemetry",
+			// The observability plane runs an HTTP server and event
+			// broadcast next to the single-threaded simulation; its
+			// handlers only ever read published immutable snapshots.
+			"internal/obs",
 		},
 	}
 }

@@ -7,15 +7,16 @@ import (
 	"regexp"
 )
 
-// telemetryNamesRule pins metric names to grep-able literals. Every
-// name handed to Registry.Counter/Gauge/Histogram/RegisterGaugeFunc
-// must either be a constant matching the project namespaces
-// (molcache_*, runner_*, resize_*, noc_*, with an optional {label}
-// block) or a concatenation whose leftmost operand is such a literal —
-// the one sanctioned dynamic form, used to attach per-instance label
-// blocks. Names assembled with fmt.Sprintf are banned outright: they
-// defeat `grep -r metric_name` and invite per-iteration formatting on
-// hot paths.
+// telemetryNamesRule pins metric and span names to grep-able literals.
+// Every name handed to Registry.Counter/Gauge/Histogram/
+// RegisterGaugeFunc — and every span name handed to SpanTracer.Begin/
+// BeginSolo — must either be a constant matching the project namespaces
+// (molcache_*, runner_*, resize_*, noc_*, obs_*, with an optional
+// {label} block) or a concatenation whose leftmost operand is such a
+// literal — the one sanctioned dynamic form, used to attach
+// per-instance label blocks. Names assembled with fmt.Sprintf are
+// banned outright: they defeat `grep -r metric_name` and invite
+// per-iteration formatting on hot paths.
 type telemetryNamesRule struct{}
 
 func init() { Register(telemetryNamesRule{}) }
@@ -23,7 +24,7 @@ func init() { Register(telemetryNamesRule{}) }
 func (telemetryNamesRule) Name() string { return "telemetry-names" }
 
 func (telemetryNamesRule) Doc() string {
-	return "metric names must be literals (or literal-prefixed label concatenations) in the molcache_/runner_/resize_/noc_ namespaces, never fmt.Sprintf"
+	return "metric and span names must be literals (or literal-prefixed label concatenations) in the molcache_/runner_/resize_/noc_/obs_ namespaces, never fmt.Sprintf"
 }
 
 // registryMethods are the Registry entry points whose first argument is
@@ -32,13 +33,19 @@ var registryMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "RegisterGaugeFunc": true,
 }
 
-// fullNameRE matches a complete metric name: namespace prefix, snake
-// body, optional label block.
-var fullNameRE = regexp.MustCompile(`^(molcache|runner|resize|noc)_[a-z0-9_]+(\{.+\})?$`)
+// spanMethods are the SpanTracer entry points whose first argument is a
+// span name. (StartAccess/End take no name and need no check.)
+var spanMethods = map[string]bool{
+	"Begin": true, "BeginSolo": true,
+}
+
+// fullNameRE matches a complete metric or span name: namespace prefix,
+// snake body, optional label block.
+var fullNameRE = regexp.MustCompile(`^(molcache|runner|resize|noc|obs)_[a-z0-9_]+(\{.+\})?$`)
 
 // prefixRE matches the literal head of a label-concatenation
 // ("molcache_region_miss_rate" + label).
-var prefixRE = regexp.MustCompile(`^(molcache|runner|resize|noc)_[a-z0-9_]+(\{[^}]*)?$`)
+var prefixRE = regexp.MustCompile(`^(molcache|runner|resize|noc|obs)_[a-z0-9_]+(\{[^}]*)?$`)
 
 func (r telemetryNamesRule) Check(cfg Config, pkg *Package) []Diagnostic {
 	var out []Diagnostic
@@ -49,7 +56,7 @@ func (r telemetryNamesRule) Check(cfg Config, pkg *Package) []Diagnostic {
 				return true
 			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || !registryMethods[sel.Sel.Name] {
+			if !ok || (!registryMethods[sel.Sel.Name] && !spanMethods[sel.Sel.Name]) {
 				return true
 			}
 			recv := pkg.receiverType(call)
@@ -76,7 +83,7 @@ func (r telemetryNamesRule) checkName(pkg *Package, arg ast.Expr) (string, bool)
 	if tv, ok := pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
 		name := constant.StringVal(tv.Value)
 		if !fullNameRE.MatchString(name) {
-			return "metric name " + quote(name) + " outside the molcache_/runner_/resize_/noc_ namespaces", true
+			return "metric name " + quote(name) + " outside the molcache_/runner_/resize_/noc_/obs_ namespaces", true
 		}
 		return "", false
 	}

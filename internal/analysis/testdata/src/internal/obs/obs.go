@@ -1,0 +1,58 @@
+// Package obs is a molvet fixture seeded with the failure shapes the
+// observability plane makes tempting: stamping an ASID into a span name
+// with fmt.Sprintf (one telemetry-names finding), opening a span under
+// a name outside the project namespaces (a second), and registering a
+// histogram whose name is assembled dynamically with no literal head (a
+// third). Its import path ends in internal/obs, so the suffix-matched
+// scoping treats it exactly like the real package — which also means
+// the goroutine below must NOT be diagnosed: internal/obs is on the
+// concurrency allow-list. The literal-name span and histogram at the
+// bottom are the sanctioned patterns and must stay diagnostic-free.
+// The golden test pins every expected diagnostic; edits here must be
+// mirrored in testdata/obs.golden.
+package obs
+
+import (
+	"fmt"
+
+	"molcache/internal/telemetry"
+)
+
+// TracePerApp stamps the ASID into the span name itself
+// (telemetry-names) instead of tagging the span with its ASID argument.
+func TracePerApp(st *telemetry.SpanTracer, asid uint16) {
+	st.Begin(fmt.Sprintf("obs_publish_asid_%d", asid))
+	st.End()
+}
+
+// TraceOffNamespace opens a span outside the project namespaces
+// (telemetry-names).
+func TraceOffNamespace(st *telemetry.SpanTracer) {
+	st.BeginSolo("collectState", 1, 0)
+	st.EndSolo()
+}
+
+// RegisterDynamic builds the histogram name at run time from a bare
+// "obs_" head that names no metric (telemetry-names).
+func RegisterDynamic(reg *telemetry.Registry, which string) {
+	reg.Histogram("obs_"+which+"_latency_seconds", nil).Observe(1)
+}
+
+// Broadcast starts a goroutine — allowed here: internal/obs is on the
+// concurrency allow-list, so this must produce no diagnostics.
+func Broadcast(ch chan struct{}) {
+	go func() { ch <- struct{}{} }()
+}
+
+// TraceCollect is the sanctioned span pattern — a literal obs_* name —
+// and must produce no diagnostics.
+func TraceCollect(st *telemetry.SpanTracer) {
+	st.BeginSolo("obs_collect_state", 1, 0)
+	st.EndSolo()
+}
+
+// RegisterLatency is the sanctioned histogram pattern — a literal obs_*
+// name plus a label suffix — and must produce no diagnostics.
+func RegisterLatency(reg *telemetry.Registry, label string) {
+	reg.Histogram("obs_publish_latency_accesses"+label, nil).Observe(1)
+}

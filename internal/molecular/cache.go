@@ -172,6 +172,13 @@ type Cache struct {
 	reg    *telemetry.Registry
 	ins    *instruments
 
+	// spans, when attached, traces a deterministic 1-in-N sample of the
+	// access pipeline (AttachSpans); svcRemoteBase snapshots remoteCycles
+	// at access entry so finish can charge this access's NoC transit to
+	// its modelled service time.
+	spans         *telemetry.SpanTracer
+	svcRemoteBase uint64
+
 	// faults, when attached, schedules hard failures, corruptions and
 	// NoC delays against the access count; deg counts what was absorbed.
 	faults *faults.Injector
@@ -504,11 +511,36 @@ func (c *Cache) Rebalance(r *Region) bool {
 // geometry; UseReferenceProbe(true) switches to the original linear
 // molecule scan. Both paths produce identical results.
 func (c *Cache) Access(ref trace.Ref) engine.Result {
+	// Span sampling is decided purely by the access count, so a traced
+	// run takes exactly the same decisions as an untraced one; the
+	// unsampled path costs one nil check (plus one modulo when a tracer
+	// is attached) and allocates nothing.
+	if st := c.spans; st != nil && st.StartAccess(c.addresses+1, ref.ASID) {
+		st.Begin("molcache_access")
+		res := c.access(ref)
+		st.EndValue(int64(res.TagProbes))
+		st.FinishAccess()
+		return res
+	}
+	return c.access(ref)
+}
+
+// AttachSpans binds a span tracer to the access pipeline (access ->
+// region lookup -> tag probe -> NoC transit -> fill). Nil detaches.
+func (c *Cache) AttachSpans(st *telemetry.SpanTracer) { c.spans = st }
+
+// Spans returns the attached span tracer (nil when span tracing is off).
+func (c *Cache) Spans() *telemetry.SpanTracer { return c.spans }
+
+// access is the span-instrumented pipeline body behind Access.
+func (c *Cache) access(ref trace.Ref) engine.Result {
 	c.clock++
 	c.addresses++
+	c.svcRemoteBase = c.remoteCycles
 	if c.faults != nil {
 		c.applyScheduledFaults()
 	}
+	c.spans.Begin("molcache_access_region_lookup")
 	r := c.lastRegion
 	if r == nil || r.asid != ref.ASID {
 		r = c.regions[ref.ASID]
@@ -518,11 +550,13 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 			if err != nil {
 				// Auto-admit can fail once degradation has exhausted the
 				// placement space; serve the access uncached instead of dying.
+				c.spans.End()
 				return c.bypassMiss(nil, ref, engine.Result{})
 			}
 		}
 		c.lastRegion = r
 	}
+	c.spans.End()
 	block := ref.Addr >> c.lineShift
 	write := kindIsWrite(ref.Kind)
 
@@ -552,6 +586,7 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 		// resident there; filling now could duplicate it. Serve uncached.
 		return c.bypassMiss(r, ref, res)
 	}
+	c.spans.Begin("molcache_access_fill")
 	victim := r.victim(ref.Addr, block)
 	if r.lineFactor > 1 {
 		c.invalidateCompanions(r, victim, block)
@@ -561,6 +596,7 @@ func (c *Cache) Access(ref trace.Ref) engine.Result {
 	res.LinesFetched = r.lineFactor
 	res.LinesEvicted = evicted
 	res.Writebacks = wb
+	c.spans.EndValue(int64(wb))
 	c.finish(r, ref, &res)
 	return res
 }
@@ -586,7 +622,9 @@ func (c *Cache) fastLookup(r *Region, block uint64, write bool, res *engine.Resu
 	}
 
 	// Stage 1: home tile (plus any shared molecules resident there).
+	c.spans.Begin("molcache_access_tag_probe")
 	res.TagProbes = c.tileProbes(r, shared, r.home)
+	c.spans.EndValue(int64(res.TagProbes))
 	if hitM != nil && hitM.tile == r.home {
 		hitM.recordHit(block, write, c.clock)
 		res.Hit = true
@@ -613,7 +651,10 @@ func (c *Cache) fastLookup(r *Region, block uint64, write bool, res *engine.Resu
 			unreachable = true
 			continue
 		}
-		res.TagProbes += c.tileProbes(r, shared, t)
+		c.spans.Begin("molcache_access_tag_probe")
+		p := c.tileProbes(r, shared, t)
+		c.spans.EndValue(int64(p))
+		res.TagProbes += p
 		if hitM != nil && hitM.tile == t {
 			hitM.recordHit(block, write, c.clock)
 			res.Hit = true
@@ -640,12 +681,15 @@ func (c *Cache) fastLookup(r *Region, block uint64, write bool, res *engine.Resu
 // are identical to fastLookup's; only the discovery mechanics differ.
 func (c *Cache) referenceLookup(r *Region, block uint64, write bool, res *engine.Result) (unreachable bool) {
 	// Stage 1: home tile (plus any shared molecules resident there).
+	c.spans.Begin("molcache_access_tag_probe")
 	if hit, probes := c.probeTile(r, r.home, block, write); hit {
+		c.spans.EndValue(int64(probes))
 		res.Hit = true
 		res.TagProbes = probes
 		res.DataReads = 1
 		return false
 	} else {
+		c.spans.EndValue(int64(probes))
 		res.TagProbes += probes
 	}
 
@@ -664,7 +708,9 @@ func (c *Cache) referenceLookup(r *Region, block uint64, write bool, res *engine
 			unreachable = true
 			continue
 		}
+		c.spans.Begin("molcache_access_tag_probe")
 		if hit, probes := c.probeTile(r, t, block, write); hit {
+			c.spans.EndValue(int64(probes))
 			res.Hit = true
 			res.RemoteTileHit = true
 			res.TagProbes += probes
@@ -676,6 +722,7 @@ func (c *Cache) referenceLookup(r *Region, block uint64, write bool, res *engine
 			}
 			return false
 		} else {
+			c.spans.EndValue(int64(probes))
 			res.TagProbes += probes
 		}
 	}
@@ -761,6 +808,13 @@ func (c *Cache) invalidateCompanions(r *Region, victim *Molecule, block uint64) 
 	}
 }
 
+// Modelled service-time components, aligned with the cmp substrate's
+// default latencies (cmp.Latency: L2 hit = 12 cycles, memory = 200).
+const (
+	serviceHitCycles  = 12
+	serviceMissCycles = 200
+)
+
 // finish records ledgers, windows and probe accounting for one access,
 // and — when telemetry is attached — the counters and the access event.
 // r may be nil for an access bypassed before any region existed (the
@@ -780,6 +834,18 @@ func (c *Cache) finish(r *Region, ref trace.Ref, res *engine.Result) {
 	}
 	c.probes.Observe(uint64(res.TagProbes))
 	if c.ins != nil {
+		// Modelled service time: the cmp substrate's default L2-hit
+		// latency as the base, the miss's memory latency when the line
+		// was fetched, plus whatever NoC transit this access incurred.
+		svc := float64(serviceHitCycles + (c.remoteCycles - c.svcRemoteBase))
+		if !res.Hit {
+			svc += serviceMissCycles
+		}
+		c.ins.serviceHist.Observe(svc)
+		c.ins.probeHist.Observe(float64(res.TagProbes))
+		if r != nil {
+			r.svcHist.Observe(svc)
+		}
 		if res.Hit {
 			c.ins.hits.Inc()
 		} else {
@@ -904,6 +970,11 @@ func (c *Cache) AttachInterconnect(m *noc.Mesh) error {
 		return fmt.Errorf("molecular: mesh of %d nodes cannot host %d tiles", m.Nodes(), tiles)
 	}
 	c.mesh = m
+	// A registry attached earlier covers the mesh too (and vice versa in
+	// AttachTelemetry): both orders leave the mesh exporting.
+	if c.reg != nil {
+		m.AttachTelemetry(c.reg)
+	}
 	return nil
 }
 

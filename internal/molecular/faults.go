@@ -214,11 +214,22 @@ func (c *Cache) applyScheduledFaults() {
 	}
 }
 
-// ulmoTraverse accounts one Ulmo request traversal between tiles,
-// applying any active NoC fault window: each dropped response costs a
-// retransmission with linearly growing backoff, and a fault outlasting
-// the retry budget reports the tile unreachable for this access.
-func (c *Cache) ulmoTraverse(from, to int) (reachable bool) {
+// ulmoTraverse accounts one Ulmo request traversal between tiles as a
+// NoC-transit span whose value is the cycles charged (base hops plus
+// any fault-retry penalty).
+func (c *Cache) ulmoTraverse(from, to int) bool {
+	c.spans.Begin("molcache_access_noc_transit")
+	start := c.remoteCycles
+	ok := c.ulmoHop(from, to)
+	c.spans.EndValue(int64(c.remoteCycles - start))
+	return ok
+}
+
+// ulmoHop is ulmoTraverse's body: it applies any active NoC fault
+// window — each dropped response costs a retransmission with linearly
+// growing backoff, and a fault outlasting the retry budget reports the
+// tile unreachable for this access.
+func (c *Cache) ulmoHop(from, to int) (reachable bool) {
 	var base uint64
 	if c.mesh != nil {
 		if lat, err := c.mesh.Traverse(from, to); err == nil {

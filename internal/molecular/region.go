@@ -5,6 +5,7 @@ import (
 
 	"molcache/internal/rng"
 	"molcache/internal/stats"
+	"molcache/internal/telemetry"
 )
 
 // ReplacementKind selects the molecule-selection policy for a region.
@@ -64,6 +65,10 @@ type Region struct {
 	// occupancySum accumulates the molecule count at every access so
 	// HPM can use the time-weighted average partition size.
 	occupancySum uint64
+
+	// svcHist is the per-ASID service-time histogram, bound when a
+	// registry is attached (nil otherwise; Observe is nil-safe).
+	svcHist *telemetry.Histogram
 
 	src *rng.Source
 }

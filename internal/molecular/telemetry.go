@@ -34,7 +34,16 @@ type instruments struct {
 	// a reference-probe cache reports zero for both).
 	indexLookups *telemetry.Counter
 	indexHits    *telemetry.Counter
+
+	// Distribution instruments: tag probes per access and the modelled
+	// access service time (hit/miss base latency plus NoC transit).
+	probeHist   *telemetry.Histogram
+	serviceHist *telemetry.Histogram
 }
+
+// probeCountBounds buckets the per-access tag-probe count: 1 probe for
+// a direct home-tile hit up through full-cluster sweeps.
+var probeCountBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // AttachTelemetry routes the cache's observations through a tracer
 // (structured events) and a registry (live metrics). Either may be nil;
@@ -71,6 +80,9 @@ func (c *Cache) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 
 		indexLookups: reg.Counter("molcache_index_lookups_total"),
 		indexHits:    reg.Counter("molcache_index_hits_total"),
+
+		probeHist:   reg.Histogram("molcache_molecular_probe_count", probeCountBounds),
+		serviceHist: reg.Histogram("molcache_access_service_cycles", nil),
 	}
 	reg.RegisterGaugeFunc("molcache_index_entries",
 		func() float64 {
@@ -93,13 +105,20 @@ func (c *Cache) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 	for _, r := range c.Regions() {
 		c.registerRegionGauges(r)
 	}
+	// An interconnect attached earlier joins the registry now; one
+	// attached later joins in AttachInterconnect.
+	if c.mesh != nil {
+		c.mesh.AttachTelemetry(reg)
+	}
 }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (c *Cache) Tracer() *telemetry.Tracer { return c.tracer }
 
-// registerRegionGauges exports one region's miss rate and size — the
-// paper's per-ASID quantities that Algorithm 1 steers by.
+// registerRegionGauges exports one region's miss rate, size and service-
+// time distribution — the paper's per-ASID quantities that Algorithm 1
+// steers by, plus the latency distribution Com-CAS-style apportioning
+// wants instead of a scalar.
 func (c *Cache) registerRegionGauges(r *Region) {
 	if c.reg == nil {
 		return
@@ -109,4 +128,5 @@ func (c *Cache) registerRegionGauges(r *Region) {
 		func() float64 { return r.ledger.MissRate() })
 	c.reg.RegisterGaugeFunc("molcache_region_molecules"+label,
 		func() float64 { return float64(r.count) })
+	r.svcHist = c.reg.Histogram("molcache_access_service_cycles"+label, nil)
 }

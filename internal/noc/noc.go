@@ -10,7 +10,11 @@
 // the molecular cache's lookup and the power model's per-access energy.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"molcache/internal/telemetry"
+)
 
 // Mesh is a W x H grid of nodes, one per tile, numbered row-major.
 type Mesh struct {
@@ -24,6 +28,10 @@ type Mesh struct {
 	hops  uint64 // total link traversals accounted
 	msgs  uint64 // total messages
 	local uint64 // messages with zero hops
+
+	// latHist, when a registry is attached, observes every message's
+	// transit latency (telemetry.go).
+	latHist *telemetry.Histogram
 }
 
 // New builds a w x h mesh. Defaults (when zero): 2-cycle links, 0.05 nJ
@@ -123,7 +131,9 @@ func (m *Mesh) Traverse(from, to int) (uint64, error) {
 	if h == 0 {
 		m.local++
 	}
-	return uint64(h) * m.hopLatency, nil
+	lat := uint64(h) * m.hopLatency
+	m.latHist.Observe(float64(lat))
+	return lat, nil
 }
 
 // Stats reports accumulated traffic.

@@ -1,0 +1,30 @@
+package noc
+
+import "molcache/internal/telemetry"
+
+// hopLatencyBounds buckets per-message transit latency: 2-cycle links
+// on meshes a few nodes wide put most messages under 16 cycles; the
+// tail covers pathological faulted detours.
+var hopLatencyBounds = []float64{2, 4, 8, 16, 32, 64}
+
+// AttachTelemetry exports the mesh's traffic on reg: a per-message
+// hop-latency histogram (observed by every Traverse) and gauge funcs
+// for the accumulated counters. A nil registry detaches; the detached
+// Traverse pays one nil check (Histogram.Observe on nil is a no-op).
+func (m *Mesh) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		m.latHist = nil
+		return
+	}
+	m.latHist = reg.Histogram("noc_hop_latency_cycles", hopLatencyBounds)
+	reg.RegisterGaugeFunc("noc_messages",
+		func() float64 { return float64(m.msgs) })
+	reg.RegisterGaugeFunc("noc_link_hops",
+		func() float64 { return float64(m.hops) })
+	reg.RegisterGaugeFunc("noc_local_messages",
+		func() float64 { return float64(m.local) })
+	reg.RegisterGaugeFunc("noc_wire_energy_nj",
+		func() float64 { return m.Energy() })
+	reg.RegisterGaugeFunc("noc_average_hops",
+		func() float64 { return m.AverageHops() })
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/telemetry"
+)
+
+// Flags is the observability flag set every CLI mounts, so
+// -events/-metrics/-snapshot-every/-serve (and, where span tracing
+// applies, -trace-out/-trace-sample) mean the same thing in molsim,
+// experiments and sweep.
+type Flags struct {
+	// Events is the JSONL telemetry event file (-events).
+	Events string
+	// Metrics is the final Prometheus text snapshot file, "-" for
+	// stdout (-metrics).
+	Metrics string
+	// SnapshotEvery streams periodic JSON metric snapshots to stderr
+	// (-snapshot-every).
+	SnapshotEvery time.Duration
+	// Serve is the introspection server listen address (-serve).
+	Serve string
+	// TraceOut is the Chrome trace-event JSON span file (-trace-out).
+	TraceOut string
+	// TraceSample traces one access in every TraceSample (-trace-sample).
+	TraceSample int
+}
+
+// Register mounts the core observability flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Events, "events", "", "write telemetry events (JSONL) to this file")
+	fs.StringVar(&f.Metrics, "metrics", "", "write a final metrics snapshot (Prometheus text) to this file; \"-\" for stdout")
+	fs.DurationVar(&f.SnapshotEvery, "snapshot-every", 0, "also stream periodic JSON metrics snapshots to stderr at this interval")
+	fs.StringVar(&f.Serve, "serve", "", "serve live introspection (/metrics /regions /decisions /events /debug/pprof) on this address, e.g. :9464")
+}
+
+// RegisterSpans additionally mounts the span-tracing flags, for
+// commands that drive a cache with a traceable access pipeline.
+func (f *Flags) RegisterSpans(fs *flag.FlagSet) {
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write sampled access-pipeline spans (Chrome trace-event JSON, loads in ui.perfetto.dev) to this file")
+	fs.IntVar(&f.TraceSample, "trace-sample", telemetry.DefaultSpanSample, "with -trace-out, trace every Nth access (deterministic in the access count; 1 = every access)")
+}
+
+// Pipeline is everything Setup built from the flags. Nil fields mean
+// that piece was not requested; every consumer in this repo is nil-safe,
+// so callers attach unconditionally.
+type Pipeline struct {
+	// Tracer records structured events (non-nil with -events or -serve).
+	Tracer *telemetry.Tracer
+	// Registry accumulates metrics (non-nil with -metrics,
+	// -snapshot-every or -serve).
+	Registry *telemetry.Registry
+	// Spans samples the access pipeline (non-nil with -trace-out).
+	Spans *telemetry.SpanTracer
+	// Publisher and Server exist with -serve; Tap feeds /events.
+	Publisher *Publisher
+	Server    *Server
+	Tap       *EventTap
+
+	flags     Flags
+	eventsF   *os.File
+	stopSnaps func() error
+	finished  bool
+}
+
+// Setup builds the requested observability pipeline. Callers should
+// defer Close (which also Finishes) and, on the normal exit path, call
+// Finish explicitly before printing results so output files are
+// complete even when os.Exit follows.
+func (f Flags) Setup() (*Pipeline, error) {
+	p := &Pipeline{flags: f}
+	serving := f.Serve != ""
+	if f.Events != "" || serving {
+		var inner telemetry.Sink
+		if f.Events != "" {
+			file, err := os.Create(f.Events)
+			if err != nil {
+				return nil, err
+			}
+			p.eventsF = file
+			inner = telemetry.NewJSONLSink(file)
+		}
+		p.Tracer = telemetry.NewTracer(0)
+		if serving {
+			// The tap tees the (optional) file sink and feeds /events.
+			p.Tap = NewEventTap(inner)
+			p.Tracer.SetSink(p.Tap)
+		} else {
+			p.Tracer.SetSink(inner)
+		}
+	}
+	if f.Metrics != "" || f.SnapshotEvery > 0 || serving {
+		p.Registry = telemetry.NewRegistry()
+	}
+	if f.SnapshotEvery > 0 {
+		p.stopSnaps = telemetry.StartPeriodicSnapshots(p.Registry, os.Stderr, f.SnapshotEvery)
+	}
+	if f.TraceOut != "" {
+		sample := f.TraceSample
+		if sample < 0 {
+			sample = 0 // NewSpanTracer substitutes the default
+		}
+		p.Spans = telemetry.NewSpanTracer(uint64(sample), 0)
+	}
+	if serving {
+		p.Publisher = NewPublisher()
+		srv, err := Serve(f.Serve, Options{
+			Publisher: p.Publisher,
+			Registry:  p.Registry,
+			Tap:       p.Tap,
+		})
+		if err != nil {
+			if p.eventsF != nil {
+				p.eventsF.Close()
+			}
+			return nil, err
+		}
+		p.Server = srv
+	}
+	return p, nil
+}
+
+// Publish collects a fresh state snapshot from the simulation objects
+// and installs it for the HTTP handlers. Call it from the goroutine
+// that owns the cache; it is a no-op without -serve.
+func (p *Pipeline) Publish(c *molecular.Cache, ctrl *resize.Controller) {
+	if p == nil || p.Publisher == nil {
+		return
+	}
+	p.Publisher.Publish(Collect(c, ctrl, p.Registry))
+}
+
+// Finish drains the pipeline's file outputs: stops periodic snapshots,
+// flushes and closes the event sink, writes the span trace and the
+// final metrics snapshot. Idempotent; logs (rather than returns)
+// write errors, matching how the CLIs treat telemetry output.
+func (p *Pipeline) Finish() {
+	if p == nil || p.finished {
+		return
+	}
+	p.finished = true
+	if p.stopSnaps != nil {
+		if err := p.stopSnaps(); err != nil {
+			log.Print(err)
+		}
+	}
+	if p.Tracer != nil {
+		if err := p.Tracer.Flush(); err != nil {
+			log.Print(err)
+		}
+	}
+	if p.eventsF != nil {
+		if err := p.eventsF.Close(); err != nil {
+			log.Print(err)
+		}
+	}
+	if p.Spans != nil && p.flags.TraceOut != "" {
+		if err := writeSpanTrace(p.flags.TraceOut, p.Spans); err != nil {
+			log.Print(err)
+		}
+	}
+	if p.Registry != nil && p.flags.Metrics != "" {
+		text := p.Registry.Snapshot().PrometheusString()
+		if p.flags.Metrics == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(p.flags.Metrics, []byte(text), 0o644); err != nil {
+			log.Print(err)
+		}
+	}
+}
+
+// Close Finishes the pipeline and shuts the introspection server down.
+func (p *Pipeline) Close() {
+	if p == nil {
+		return
+	}
+	p.Finish()
+	if p.Server != nil {
+		if err := p.Server.Close(); err != nil {
+			log.Print(err)
+		}
+	}
+}
+
+func writeSpanTrace(path string, st *telemetry.SpanTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,412 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"molcache/internal/addr"
+	"molcache/internal/molecular"
+	"molcache/internal/obs"
+	"molcache/internal/resize"
+	"molcache/internal/telemetry"
+	"molcache/internal/trace"
+)
+
+// simWorld builds a small molecular cache with a controller and
+// registry, drives it, and returns the pieces Collect wants.
+func simWorld(t *testing.T) (*molecular.Cache, *resize.Controller, *telemetry.Registry) {
+	t.Helper()
+	c, err := molecular.New(molecular.Config{
+		TotalSize:       512 * addr.KB,
+		Clusters:        1,
+		TilesPerCluster: 4,
+		Policy:          molecular.RandyReplacement,
+		Seed:            2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.AttachTelemetry(nil, reg)
+	ctrl, err := resize.New(c, resize.Config{
+		Period: 400, MinPeriod: 200, MaxPeriod: 5000,
+		DefaultGoal: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6000; i++ {
+		asid := uint16(1 + i%3)
+		c.Access(trace.Ref{ASID: asid, Addr: uint64(asid)<<36 | uint64(i%997)*64, Kind: trace.Read})
+		ctrl.Tick()
+	}
+	return c, ctrl, reg
+}
+
+func TestCollectState(t *testing.T) {
+	c, ctrl, reg := simWorld(t)
+	st := obs.Collect(c, ctrl, reg)
+
+	if st.Accesses != 6000 {
+		t.Fatalf("accesses = %d, want 6000", st.Accesses)
+	}
+	if len(st.Regions) == 0 {
+		t.Fatal("no regions collected")
+	}
+	if st.DecisionsTotal == 0 || len(st.Decisions) == 0 {
+		t.Fatalf("no resize decisions collected (total=%d retained=%d)",
+			st.DecisionsTotal, len(st.Decisions))
+	}
+	for _, ri := range st.Regions {
+		if ri.Molecules <= 0 {
+			t.Errorf("asid %d: molecules = %d", ri.ASID, ri.Molecules)
+		}
+		if len(ri.Tiles) == 0 {
+			t.Errorf("asid %d: no tile counts", ri.ASID)
+		}
+		total := 0
+		for i, tc := range ri.Tiles {
+			total += tc.Molecules
+			if i > 0 && ri.Tiles[i-1].Tile >= tc.Tile {
+				t.Errorf("asid %d: tiles not sorted: %v", ri.ASID, ri.Tiles)
+			}
+		}
+		if total != ri.Molecules {
+			t.Errorf("asid %d: tile counts sum %d != molecules %d", ri.ASID, total, ri.Molecules)
+		}
+		if ri.Goal != 0.2 {
+			t.Errorf("asid %d: goal = %v, want 0.2", ri.ASID, ri.Goal)
+		}
+		if ri.LastResize == nil {
+			t.Errorf("asid %d: no last resize decision", ri.ASID)
+		} else if ri.LastResize.ASID != ri.ASID {
+			t.Errorf("asid %d: last resize is for asid %d", ri.ASID, ri.LastResize.ASID)
+		}
+	}
+	if len(st.Metrics.Counters) == 0 {
+		t.Error("metrics snapshot has no counters")
+	}
+
+	// Collect tolerates missing pieces.
+	empty := obs.Collect(nil, nil, nil)
+	if empty.Accesses != 0 || len(empty.Regions) != 0 {
+		t.Fatalf("nil collect not empty: %+v", empty)
+	}
+}
+
+func TestPublisherNilSafety(t *testing.T) {
+	var p *obs.Publisher
+	p.Publish(&obs.State{})
+	if p.Latest() != nil {
+		t.Fatal("nil publisher returned a state")
+	}
+	p = obs.NewPublisher()
+	if p.Latest() != nil {
+		t.Fatal("fresh publisher not empty")
+	}
+	st := &obs.State{At: 7}
+	p.Publish(st)
+	if got := p.Latest(); got != st {
+		t.Fatalf("Latest = %p, want %p", got, st)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	c, ctrl, reg := simWorld(t)
+	pub := obs.NewPublisher()
+	pub.Publish(obs.Collect(c, ctrl, reg))
+	tap := obs.NewEventTap(nil)
+
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{Publisher: pub, Registry: reg, Tap: tap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := srv.URL()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE molcache_molecular_hits_total counter",
+		"molcache_molecular_probe_count_bucket",
+		"molcache_access_service_cycles_sum",
+		"molcache_molecular_free_molecules",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if snap, err := telemetry.ParsePrometheus(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics does not re-parse: %v", err)
+	} else if len(snap.Counters) == 0 {
+		t.Error("/metrics parsed to zero counters")
+	}
+
+	code, body = get(t, base+"/regions")
+	if code != http.StatusOK {
+		t.Fatalf("/regions status %d", code)
+	}
+	var st obs.State
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/regions not JSON: %v\n%s", err, body)
+	}
+	if st.Accesses != 6000 || len(st.Regions) == 0 {
+		t.Fatalf("/regions payload wrong: accesses=%d regions=%d", st.Accesses, len(st.Regions))
+	}
+
+	code, body = get(t, base+"/decisions")
+	if code != http.StatusOK {
+		t.Fatalf("/decisions status %d", code)
+	}
+	var decs struct {
+		Total     uint64            `json:"total"`
+		Retained  int               `json:"retained"`
+		Decisions []resize.Decision `json:"decisions"`
+	}
+	if err := json.Unmarshal([]byte(body), &decs); err != nil {
+		t.Fatalf("/decisions not JSON: %v", err)
+	}
+	if decs.Total == 0 || decs.Retained != len(decs.Decisions) || decs.Retained == 0 {
+		t.Fatalf("/decisions payload wrong: %+v", decs)
+	}
+	for _, d := range decs.Decisions {
+		if d.Reason == "" {
+			t.Fatalf("decision %d has empty reason", d.Seq)
+		}
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/decisions") {
+		t.Fatalf("index wrong: status %d body %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+	// pprof is mounted.
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestServerBeforeFirstPublishFallsBack(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("molcache_test_total").Add(3)
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{Publisher: obs.NewPublisher(), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "molcache_test_total 3") {
+		t.Fatalf("/metrics fallback wrong: status %d body %q", code, body)
+	}
+	code, body = get(t, srv.URL()+"/regions")
+	if code != http.StatusOK || !strings.Contains(body, `"regions": []`) {
+		t.Fatalf("/regions empty state wrong: status %d body %q", code, body)
+	}
+	// No tap attached: /events refuses rather than hanging.
+	code, _ = get(t, srv.URL()+"/events")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/events without tap status %d, want 503", code)
+	}
+}
+
+func TestEventsSSEStream(t *testing.T) {
+	tap := obs.NewEventTap(nil)
+	tr := telemetry.NewTracer(0)
+	tr.SetSink(tap)
+
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{Publisher: obs.NewPublisher(), Tap: tap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Wait for the subscription to land, then emit events from the "sim".
+	deadline := time.Now().Add(5 * time.Second)
+	for tap.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.Access(1, 3, 0xcafe, true, false, 2, 0)
+	tr.Resize(2, 3, "grow", 4, 20)
+
+	sc := bufio.NewScanner(resp.Body)
+	var events []telemetry.Event
+	for sc.Scan() && len(events) < 2 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (scan err %v)", len(events), sc.Err())
+	}
+	if events[0].Kind != telemetry.KindAccess || events[0].Addr != 0xcafe {
+		t.Fatalf("first event wrong: %+v", events[0])
+	}
+	if events[1].Kind != telemetry.KindResize || events[1].Detail != "grow" {
+		t.Fatalf("second event wrong: %+v", events[1])
+	}
+	if tap.Written() != 2 {
+		t.Fatalf("tap written = %d, want 2", tap.Written())
+	}
+}
+
+func TestEventTapDropsWhenSubscriberStalls(t *testing.T) {
+	tap := obs.NewEventTap(nil)
+	ch, cancel := tap.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		tap.Write(telemetry.Event{Seq: uint64(i + 1)})
+	}
+	if tap.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tap.Dropped())
+	}
+	if tap.Written() != 5 {
+		t.Fatalf("written = %d, want 5", tap.Written())
+	}
+	// The two buffered events are intact and in order.
+	for want := uint64(1); want <= 2; want++ {
+		ev := <-ch
+		if ev.Seq != want {
+			t.Fatalf("event seq = %d, want %d", ev.Seq, want)
+		}
+	}
+	// Cancel is idempotent and closes the channel.
+	cancel()
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	if tap.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after cancel", tap.Subscribers())
+	}
+}
+
+func TestEventTapTeesToInnerSink(t *testing.T) {
+	mem := telemetry.NewMemorySink()
+	tap := obs.NewEventTap(mem)
+	tap.Write(telemetry.Event{Seq: 1, Kind: telemetry.KindResize})
+	if err := tap.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 1 {
+		t.Fatalf("inner sink got %d events, want 1", mem.Len())
+	}
+}
+
+func TestPipelineSetupAndFinish(t *testing.T) {
+	dir := t.TempDir()
+	f := obs.Flags{
+		Events:      dir + "/events.jsonl",
+		Metrics:     dir + "/metrics.prom",
+		Serve:       "127.0.0.1:0",
+		TraceOut:    dir + "/spans.json",
+		TraceSample: 1,
+	}
+	p, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Tracer == nil || p.Registry == nil || p.Spans == nil ||
+		p.Publisher == nil || p.Server == nil || p.Tap == nil {
+		t.Fatalf("pipeline incomplete: %+v", p)
+	}
+
+	c, ctrl, _ := simWorld(t)
+	// Re-home the cache's metrics onto the pipeline registry and attach
+	// the pipeline tracer/spans, as the CLIs do.
+	c.AttachTelemetry(p.Tracer, p.Registry)
+	c.AttachSpans(p.Spans)
+	ctrl.AttachTelemetry(p.Tracer, p.Registry)
+	ctrl.AttachSpans(p.Spans)
+	for i := 0; i < 2000; i++ {
+		c.Access(trace.Ref{ASID: 1, Addr: 1<<36 | uint64(i%97)*64, Kind: trace.Read})
+		ctrl.Tick()
+	}
+	p.Publish(c, ctrl)
+
+	code, body := get(t, p.Server.URL()+"/regions")
+	if code != http.StatusOK || !strings.Contains(body, `"asid": 1`) {
+		t.Fatalf("/regions via pipeline: status %d body %s", code, body)
+	}
+
+	p.Finish()
+	p.Finish() // idempotent
+
+	events, err := os.ReadFile(f.Events)
+	if err != nil || len(events) == 0 {
+		t.Fatalf("events file: %v (%d bytes)", err, len(events))
+	}
+	metrics, err := os.ReadFile(f.Metrics)
+	if err != nil || !strings.Contains(string(metrics), "molcache_molecular_hits_total") {
+		t.Fatalf("metrics file: %v\n%s", err, metrics)
+	}
+	spans, err := os.ReadFile(f.TraceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(spans, &chrome); err != nil {
+		t.Fatalf("span trace not JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("span trace empty")
+	}
+}
+
+func TestPipelineEmptyFlagsIsInert(t *testing.T) {
+	p, err := obs.Flags{}.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tracer != nil || p.Registry != nil || p.Spans != nil || p.Server != nil {
+		t.Fatalf("empty flags built something: %+v", p)
+	}
+	p.Publish(nil, nil) // no-op, must not panic
+	p.Finish()
+	p.Close()
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"molcache/internal/resize"
+	"molcache/internal/telemetry"
+)
+
+// Options wires the introspection endpoints to their data sources. Any
+// field may be nil; the matching endpoint degrades gracefully (503 for
+// /events without a tap, empty documents elsewhere).
+type Options struct {
+	// Publisher supplies /regions, /decisions and — when a state has
+	// been published — /metrics.
+	Publisher *Publisher
+	// Registry is the /metrics fallback before the first publish; only
+	// its AtomicSnapshot is taken (gauge funcs stay on the sim thread).
+	Registry *telemetry.Registry
+	// Tap feeds /events.
+	Tap *EventTap
+}
+
+// NewMux builds the introspection handler tree:
+//
+//	GET /            index
+//	GET /metrics     Prometheus text exposition
+//	GET /regions     live region topology (JSON)
+//	GET /decisions   resize decision log (JSON)
+//	GET /events      Server-Sent Events stream of telemetry events
+//	GET /debug/pprof the standard Go profiling endpoints
+func NewMux(opts Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", indexHandler)
+	mux.HandleFunc("/metrics", metricsHandler(opts))
+	mux.HandleFunc("/regions", regionsHandler(opts))
+	mux.HandleFunc("/decisions", decisionsHandler(opts))
+	mux.HandleFunc("/events", eventsHandler(opts))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func indexHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `molcache introspection server
+
+  /metrics      Prometheus text exposition (counters, gauges, histograms)
+  /regions      per-ASID region topology, occupancy, miss rate vs goal (JSON)
+  /decisions    resize controller decision log (JSON)
+  /events       live telemetry event stream (Server-Sent Events)
+  /debug/pprof  Go runtime profiles
+`)
+}
+
+func metricsHandler(opts Options) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Prefer the last published snapshot: it is internally
+		// consistent and includes gauge-func values, which only the sim
+		// thread may read. Before the first publish, fall back to the
+		// registry's lock-free subset.
+		var snap telemetry.Snapshot
+		switch st := opts.Publisher.Latest(); {
+		case st != nil:
+			snap = st.Metrics
+		case opts.Registry != nil:
+			snap = opts.Registry.AtomicSnapshot()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.Prometheus(w)
+	}
+}
+
+func regionsHandler(opts Options) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := opts.Publisher.Latest()
+		if st == nil {
+			st = &State{}
+		}
+		if st.Regions == nil {
+			// Keep the payload well-formed for consumers: "regions":[]
+			// rather than null.
+			clone := *st
+			clone.Regions = []RegionInfo{}
+			st = &clone
+		}
+		writeJSON(w, st)
+	}
+}
+
+func decisionsHandler(opts Options) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := opts.Publisher.Latest()
+		if st == nil {
+			st = &State{}
+		}
+		decs := st.Decisions
+		if decs == nil {
+			decs = []resize.Decision{}
+		}
+		resp := struct {
+			At       uint64            `json:"at"`
+			Total    uint64            `json:"total"`
+			Retained int               `json:"retained"`
+			Dropped  uint64            `json:"dropped"`
+			Events   []resize.Decision `json:"decisions"`
+		}{
+			At:       st.At,
+			Total:    st.DecisionsTotal,
+			Retained: len(decs),
+			Dropped:  st.DecisionsTotal - uint64(len(decs)),
+			Events:   decs,
+		}
+		writeJSON(w, resp)
+	}
+}
+
+func eventsHandler(opts Options) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tap == nil {
+			http.Error(w, "no event stream attached: run the command with -events or -serve",
+				http.StatusServiceUnavailable)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		ch, cancel := opts.Tap.Subscribe(sseSubscriberBuffer)
+		defer cancel()
+		fmt.Fprintf(w, ": molcache telemetry stream\n\n")
+		fl.Flush()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, ok := <-ch:
+				if !ok {
+					return
+				}
+				data, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "data: %s\n\n", data)
+				fl.Flush()
+			}
+		}
+	}
+}
+
+// sseSubscriberBuffer bounds per-subscriber memory on /events; when a
+// client falls this far behind, events are dropped (and counted) rather
+// than blocking the simulation.
+const sseSubscriberBuffer = 1024
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Server is a running introspection server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. ":9464" or "127.0.0.1:0") and serves the
+// introspection mux in the background until Close.
+func Serve(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(opts)}
+	s := &Server{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the http:// base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server immediately, dropping in-flight streams.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

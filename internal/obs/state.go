@@ -1,0 +1,175 @@
+// Package obs is the live observability plane: an introspection HTTP
+// server (Prometheus metrics, region topology, resize decisions, an SSE
+// event stream, pprof), a publisher that hands the server immutable
+// snapshots of simulation state, and the shared observability flag set
+// every CLI mounts.
+//
+// The concurrency contract keeps the deterministic simulation single-
+// threaded: HTTP handlers NEVER touch live simulation objects. The
+// goroutine that owns the cache calls Collect + Publish at points of
+// its choosing (every N accesses, end of run); handlers only read the
+// last published *State through an atomic pointer, plus the registry's
+// AtomicSnapshot (counters/gauges/histograms only — gauge funcs read
+// sim state and stay on the sim thread). This package is on molvet's
+// concurrency allow-list; the simulation packages it observes are not,
+// and stay free of goroutines.
+package obs
+
+import (
+	"sync/atomic"
+
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/telemetry"
+)
+
+// TileCount is one tile's share of a region's molecules.
+type TileCount struct {
+	Tile      int `json:"tile"`
+	Molecules int `json:"molecules"`
+}
+
+// RegionInfo is the published view of one per-ASID region: topology,
+// occupancy, miss rate vs. goal, and the last resize action taken on it.
+type RegionInfo struct {
+	ASID       uint16 `json:"asid"`
+	Shared     bool   `json:"shared,omitempty"`
+	HomeTile   int    `json:"home_tile"`
+	Policy     string `json:"policy"`
+	LineFactor int    `json:"line_factor"`
+
+	Molecules    int         `json:"molecules"`
+	AvgMolecules float64     `json:"avg_molecules"`
+	Rows         []int       `json:"rows"`
+	Tiles        []TileCount `json:"tiles"`
+
+	Accesses       uint64  `json:"accesses"`
+	MissRate       float64 `json:"miss_rate"`
+	WindowMissRate float64 `json:"window_miss_rate"`
+	Goal           float64 `json:"goal,omitempty"`
+	// Deviation is MissRate - Goal (only meaningful with a goal set):
+	// positive means the partition is missing its QoS target.
+	Deviation float64 `json:"deviation,omitempty"`
+
+	LastResize *resize.Decision `json:"last_resize,omitempty"`
+}
+
+// State is one immutable snapshot of the simulation, built on the sim
+// thread by Collect and served read-only by the HTTP handlers. The
+// decision log is kept out of the /regions payload (it has its own
+// endpoint) via the json:"-" tag.
+type State struct {
+	Cache         string       `json:"cache,omitempty"`
+	At            uint64       `json:"at"`
+	Accesses      uint64       `json:"accesses"`
+	MissRate      float64      `json:"miss_rate"`
+	FreeMolecules int          `json:"free_molecules"`
+	RemoteCycles  uint64       `json:"remote_cycles"`
+	Regions       []RegionInfo `json:"regions"`
+
+	Decisions      []resize.Decision  `json:"-"`
+	DecisionsTotal uint64             `json:"-"`
+	Metrics        telemetry.Snapshot `json:"-"`
+}
+
+// Publisher hands immutable States from the simulation goroutine to the
+// HTTP handlers. Publish/Latest are safe from any goroutine; a nil
+// *Publisher is valid and always Latest()s nil.
+type Publisher struct {
+	cur atomic.Pointer[State]
+}
+
+// NewPublisher returns an empty publisher.
+func NewPublisher() *Publisher { return &Publisher{} }
+
+// Publish installs s as the latest state. The caller must not mutate s
+// (or anything reachable from it) afterwards.
+func (p *Publisher) Publish(s *State) {
+	if p == nil {
+		return
+	}
+	p.cur.Store(s)
+}
+
+// Latest returns the most recently published state (nil before the
+// first publish, or on a nil publisher).
+func (p *Publisher) Latest() *State {
+	if p == nil {
+		return nil
+	}
+	return p.cur.Load()
+}
+
+// Collect builds an immutable State from the live simulation objects.
+// It MUST run on the goroutine that owns the cache — it walks regions
+// and evaluates registry gauge funcs. Any argument may be nil; the
+// corresponding sections come back empty.
+func Collect(c *molecular.Cache, ctrl *resize.Controller, reg *telemetry.Registry) *State {
+	s := &State{}
+	var lastByASID map[uint16]*resize.Decision
+	if ctrl != nil {
+		s.Decisions = ctrl.Decisions()
+		s.DecisionsTotal = ctrl.DecisionCount()
+		lastByASID = make(map[uint16]*resize.Decision, 8)
+		for i := range s.Decisions {
+			d := &s.Decisions[i]
+			lastByASID[d.ASID] = d
+		}
+	}
+	if c != nil {
+		s.Cache = c.Name()
+		s.At = c.Addresses()
+		led := c.Ledger()
+		s.Accesses = led.Total.Accesses()
+		s.MissRate = led.Total.MissRate()
+		s.FreeMolecules = c.FreeMolecules()
+		s.RemoteCycles = c.RemoteCycles()
+		for _, r := range c.Regions() {
+			ri := RegionInfo{
+				ASID:           r.ASID(),
+				Shared:         r.ASID() == molecular.SharedASID,
+				HomeTile:       r.HomeTile().ID(),
+				Policy:         string(r.Policy()),
+				LineFactor:     r.LineFactor(),
+				Molecules:      r.MoleculeCount(),
+				AvgMolecules:   r.AverageMolecules(),
+				Rows:           r.Rows(),
+				Accesses:       r.Ledger().Accesses(),
+				MissRate:       r.Ledger().MissRate(),
+				WindowMissRate: r.Window().Snapshot().MissRate(),
+			}
+			// TileCounts is a map; emit a tile-sorted slice so the JSON
+			// is deterministic.
+			counts := r.TileCounts()
+			tiles := make([]int, 0, len(counts))
+			for t := range counts {
+				tiles = append(tiles, t)
+			}
+			sortInts(tiles)
+			for _, t := range tiles {
+				ri.Tiles = append(ri.Tiles, TileCount{Tile: t, Molecules: counts[t]})
+			}
+			if ctrl != nil && !ri.Shared {
+				ri.Goal = ctrl.Goal(r.ASID())
+				if ri.Goal > 0 {
+					ri.Deviation = ri.MissRate - ri.Goal
+				}
+				ri.LastResize = lastByASID[r.ASID()]
+			}
+			s.Regions = append(s.Regions, ri)
+		}
+	}
+	// The full snapshot (gauge funcs included) is safe here: Collect
+	// runs on the sim thread by contract.
+	s.Metrics = reg.Snapshot()
+	return s
+}
+
+// sortInts is a dependency-free insertion sort (tile lists are tiny).
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

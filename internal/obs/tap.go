@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"molcache/internal/telemetry"
+)
+
+// EventTap is a telemetry.Sink that tees every event to an optional
+// inner sink (e.g. the -events JSONL file) and broadcasts it to any
+// number of live subscribers (the /events SSE handler). Broadcasting
+// never blocks the simulation: a subscriber whose buffered channel is
+// full loses the event and the tap counts the drop.
+type EventTap struct {
+	mu     sync.Mutex
+	inner  telemetry.Sink
+	subs   map[int]chan telemetry.Event
+	nextID int
+
+	written atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewEventTap wraps inner (which may be nil: broadcast only).
+func NewEventTap(inner telemetry.Sink) *EventTap {
+	return &EventTap{inner: inner, subs: make(map[int]chan telemetry.Event)}
+}
+
+// Write implements telemetry.Sink. The inner sink's error is returned
+// (the tracer latches the first one); subscriber overflow is not an
+// error, just a counted drop.
+func (t *EventTap) Write(e telemetry.Event) error {
+	t.written.Add(1)
+	var err error
+	if t.inner != nil {
+		err = t.inner.Write(e)
+	}
+	t.mu.Lock()
+	for _, ch := range t.subs {
+		select {
+		case ch <- e:
+		default:
+			t.dropped.Add(1)
+		}
+	}
+	t.mu.Unlock()
+	return err
+}
+
+// Flush implements telemetry.Sink.
+func (t *EventTap) Flush() error {
+	if t.inner == nil {
+		return nil
+	}
+	return t.inner.Flush()
+}
+
+// Subscribe registers a listener with the given channel buffer (minimum
+// 1) and returns the event channel plus a cancel function. Cancel is
+// idempotent and closes the channel, so range loops terminate.
+func (t *EventTap) Subscribe(buffer int) (<-chan telemetry.Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan telemetry.Event, buffer)
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	t.subs[id] = ch
+	t.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			t.mu.Lock()
+			delete(t.subs, id)
+			t.mu.Unlock()
+			// Safe to close now: Write only sends while the channel is
+			// in the map, and both run under t.mu.
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers returns the number of live subscriptions.
+func (t *EventTap) Subscribers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
+}
+
+// Written returns the total events seen by the tap.
+func (t *EventTap) Written() uint64 { return t.written.Load() }
+
+// Dropped returns the events lost to slow subscribers.
+func (t *EventTap) Dropped() uint64 { return t.dropped.Load() }

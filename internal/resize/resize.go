@@ -76,6 +76,9 @@ type Config struct {
 	// and the index together, so corruption here must stop the run at
 	// the mutation, not at some later divergence. Test/debug aid.
 	DebugCheck bool
+	// DecisionLog sizes the bounded decision ring (see decision.go):
+	// 0 means DefaultDecisionLog, negative disables recording.
+	DecisionLog int
 }
 
 func (c Config) withDefaults() Config {
@@ -200,11 +203,22 @@ type Controller struct {
 	events []Event
 	cycles uint64
 
-	// tracer and decisions are the telemetry attachments (nil by
+	// Bounded decision ring (decision.go).
+	decs    []Decision
+	decHead int
+	decCap  int
+	decSeq  uint64
+
+	// tracer, decisions and spans are the telemetry attachments (nil by
 	// default; a detached controller pays one pointer check per pass).
 	tracer    *telemetry.Tracer
 	decisions map[Action]*telemetry.Counter
+	spans     *telemetry.SpanTracer
 }
+
+// AttachSpans routes resize passes through st as solo "resize_tick"
+// spans (one per pass, always recorded). Nil detaches.
+func (c *Controller) AttachSpans(st *telemetry.SpanTracer) { c.spans = st }
 
 // New builds a controller for cache.
 func New(cache *molecular.Cache, cfg Config) (*Controller, error) {
@@ -212,12 +226,17 @@ func New(cache *molecular.Cache, cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	decCap := cfg.DecisionLog
+	if decCap == 0 {
+		decCap = DefaultDecisionLog
+	}
 	return &Controller{
 		cfg:    cfg,
 		cache:  cache,
 		period: cfg.Period,
 		nextAt: cfg.Period,
 		apps:   make(map[uint16]*appState),
+		decCap: decCap,
 	}, nil
 }
 
@@ -269,8 +288,10 @@ func (c *Controller) Tick() bool {
 		if c.cache.Addresses() < c.nextAt {
 			return false
 		}
+		c.spans.BeginSolo("resize_tick", c.cache.Addresses(), 0)
 		c.resizeAll()
 		c.adaptGlobal()
+		c.spans.EndSolo()
 		c.nextAt = c.cache.Addresses() + c.period
 		c.debugCheck()
 		return true
@@ -284,7 +305,9 @@ func (c *Controller) Tick() bool {
 			if r.Ledger().Accesses() < s.nextAt {
 				continue
 			}
+			c.spans.BeginSolo("resize_tick", c.cache.Addresses(), r.ASID())
 			miss := c.resizeOne(r, s)
+			c.spans.EndSolo()
 			// Adapt this app's own period.
 			if goal := c.Goal(r.ASID()); goal > 0 {
 				if miss < goal {
@@ -374,10 +397,47 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		MissRate: miss,
 		Action:   ActionNone,
 	}
+	// Decision-log inputs, captured before the pass mutates anything.
+	sizeBefore := r.MoleculeCount()
+	free := c.cache.FreeInCluster(r)
+	wasFrozen := s.frozen > 0
+	period := c.period
+	if c.cfg.Trigger == AdaptivePerApp {
+		period = s.period
+	}
+	reason := ""
 	defer func() {
 		ev.Size = r.MoleculeCount()
 		c.events = append(c.events, ev)
 		c.observe(ev)
+		if reason == "" {
+			// The switch matched no case (or a case chose inaction
+			// without saying why): the partition is simply healthy.
+			if miss < goal {
+				reason = fmt.Sprintf("miss %.3f under goal %.3f and cluster free pool ample (free %d > gate %d): no shrink tax",
+					miss, goal, free, 2*c.cfg.MaxAllocation)
+			} else {
+				reason = fmt.Sprintf("miss %.3f meets goal %.3f: leave alone", miss, goal)
+			}
+		}
+		c.record(Decision{
+			At:             ev.At,
+			ASID:           ev.ASID,
+			MissRate:       miss,
+			Goal:           goal,
+			Deviation:      miss - goal,
+			WindowAccesses: w.Accesses(),
+			SizeBefore:     sizeBefore,
+			FreeInCluster:  free,
+			FreeGate:       2 * c.cfg.MaxAllocation,
+			Floor:          s.floor,
+			Frozen:         wasFrozen,
+			Period:         period,
+			Action:         ev.Action,
+			Delta:          ev.Delta,
+			SizeAfter:      ev.Size,
+			Reason:         reason,
+		})
 		// Consume the epoch's placement counters only after the grow/
 		// shrink placement has used them.
 		r.ResetEpoch()
@@ -385,7 +445,12 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		s.haveLast = true
 		s.lastAction = ev.Action
 	}()
-	if goal <= 0 || w.Accesses() == 0 {
+	if goal <= 0 {
+		reason = "no miss-rate goal set: partition unmanaged"
+		return miss
+	}
+	if w.Accesses() == 0 {
+		reason = "no accesses in window: nothing to learn"
 		return miss
 	}
 	// Shrink regret: a shrink that blew the goal found the partition's
@@ -413,7 +478,7 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 			s.floorAge = 0
 		}
 	}
-	cur := r.MoleculeCount()
+	cur := sizeBefore
 	switch {
 	case miss > 0.5 && miss > goal:
 		// Emergency growth by one chunk; per the pseudo-code, the chunk
@@ -428,6 +493,8 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		// freezePasses.
 		if s.frozen > 0 {
 			s.frozen--
+			reason = fmt.Sprintf("miss %.3f > 0.5 but emergency growth frozen (%d passes left) after a failed futility audit",
+				miss, s.frozen)
 			return miss
 		}
 		if s.growSinceMark >= futilityWindow {
@@ -436,6 +503,8 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 			// faster than the working set's reuse distance), then
 			// judge it.
 			if c.cache.Addresses()-s.markAt < auditMinAddresses {
+				reason = fmt.Sprintf("futility audit pending: %d emergency molecules granted, judging after %d addresses (%d elapsed)",
+					s.growSinceMark, uint64(auditMinAddresses), c.cache.Addresses()-s.markAt)
 				return miss
 			}
 			if miss > 0.98*s.missAtMark {
@@ -445,6 +514,11 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 				s.frozen = freezePasses
 				ev.Action = ActionShrink
 				ev.Delta = -n
+				reason = fmt.Sprintf("futility audit failed: miss %.3f vs %.3f at mark; reclaimed %d molecules and froze emergency growth for %d passes",
+					miss, s.missAtMark, n, freezePasses)
+			} else {
+				reason = fmt.Sprintf("futility audit passed: miss %.3f improved from %.3f at mark; emergency growth may continue",
+					miss, s.missAtMark)
 			}
 			s.growSinceMark = 0
 			return miss
@@ -467,6 +541,8 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		if got == 0 && s.rebalanceCool <= 0 && c.cache.Rebalance(r) {
 			ev.Action = ActionRebalance
 			s.rebalanceCool = rebalanceCooldown
+			reason = fmt.Sprintf("miss %.3f > 0.5 but cluster free pool exhausted (free %d): rebalanced rows with owned molecules",
+				miss, free)
 			break
 		}
 		if s.growSinceMark == 0 {
@@ -476,6 +552,8 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 		s.growSinceMark += got
 		ev.Action = ActionGrowChunk
 		ev.Delta = got
+		reason = fmt.Sprintf("miss %.3f > 0.5 and over goal %.3f: emergency grow by chunk (asked %d, got %d)",
+			miss, goal, s.maxAlloc, got)
 	case miss < goal &&
 		c.cache.FreeInCluster(r) <= 2*c.cfg.MaxAllocation:
 		// Conservative shrink: withdraw sqrt(cur*miss/goal) molecules.
@@ -499,6 +577,14 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 			n, _ := c.cache.Shrink(r, count)
 			ev.Action = ActionShrink
 			ev.Delta = -n
+			reason = fmt.Sprintf("miss %.3f under goal %.3f with cluster free pool low (free %d <= gate %d): withdrew sqrt-model %d molecules",
+				miss, goal, free, 2*c.cfg.MaxAllocation, n)
+		} else if s.floor > 0 && cur <= s.floor {
+			reason = fmt.Sprintf("miss %.3f under goal %.3f but shrink-regret floor %d holds the partition at %d",
+				miss, goal, s.floor, cur)
+		} else {
+			reason = fmt.Sprintf("miss %.3f under goal %.3f but partition already minimal (%d molecules)",
+				miss, goal, cur)
 		}
 	case miss > goal:
 		// Linear-model growth toward the goal, one bounded chunk.
@@ -523,10 +609,16 @@ func (c *Controller) resizeOne(r *molecular.Region, s *appState) float64 {
 				// widths with the molecules already owned.
 				ev.Action = ActionRebalance
 				s.rebalanceCool = rebalanceCooldown
+				reason = fmt.Sprintf("miss %.3f over goal %.3f but cluster free pool exhausted (free %d): rebalanced rows with owned molecules",
+					miss, goal, free)
 				break
 			}
 			ev.Action = ActionGrowLinear
 			ev.Delta = got
+			reason = fmt.Sprintf("miss %.3f over goal %.3f: linear growth toward target %d (asked %d, got %d)",
+				miss, goal, target, delta, got)
+		} else {
+			reason = fmt.Sprintf("miss %.3f over goal %.3f but linear target %d already met", miss, goal, target)
 		}
 	}
 	return miss

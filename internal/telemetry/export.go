@@ -109,17 +109,51 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = fn()
 	}
 	for name, h := range hists {
-		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
-		var cum uint64
-		for i := range h.buckets {
-			cum += h.buckets[i].Load()
-			ub := math.Inf(+1)
-			if i < len(h.bounds) {
-				ub = h.bounds[i]
-			}
-			hs.Buckets = append(hs.Buckets, Bucket{UpperBound: ub, Count: cum})
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// snapshot freezes one histogram's cumulative buckets.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		ub := math.Inf(+1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
 		}
-		s.Histograms[name] = hs
+		hs.Buckets = append(hs.Buckets, Bucket{UpperBound: ub, Count: cum})
+	}
+	return hs
+}
+
+// AtomicSnapshot freezes only the registry's lock-free instruments —
+// counters, set gauges and histograms — and skips gauge funcs, whose
+// closures typically read live simulation state and are therefore only
+// safe to run on the goroutine that owns the simulation. This is the
+// snapshot concurrent readers (the introspection HTTP server) may take
+// at any time.
+func (r *Registry) AtomicSnapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
 	}
 	return s
 }
@@ -228,7 +262,7 @@ func (s Snapshot) Prometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		emitType(suffixName(n, "_bucket"), "histogram")
+		emitType(n, "histogram")
 		for _, b := range h.Buckets {
 			fmt.Fprintf(bw, "%s %d\n",
 				mergeLabels(suffixName(n, "_bucket"), `le=`+strconv.Quote(formatFloat(b.UpperBound))), b.Count)
@@ -286,10 +320,11 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 		name, valStr := line[:sp], line[sp+1:]
 		base := BaseName(name)
 
-		// Histogram series: NAME_bucket / NAME_sum / NAME_count with
-		// the family typed "histogram" under NAME_bucket's base.
+		// Histogram series: FAMILY_bucket / FAMILY_sum / FAMILY_count
+		// with the family itself typed "histogram" (the standard
+		// exposition-format convention).
 		switch {
-		case strings.HasSuffix(base, "_bucket") && types[base] == "histogram":
+		case strings.HasSuffix(base, "_bucket") && types[strings.TrimSuffix(base, "_bucket")] == "histogram":
 			le, rest, err := extractLabel(name, "le")
 			if err != nil {
 				return s, err
@@ -313,7 +348,7 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 			}
 			h.buckets = append(h.buckets, Bucket{UpperBound: ub, Count: n})
 			continue
-		case strings.HasSuffix(base, "_sum") && types[strings.TrimSuffix(base, "_sum")+"_bucket"] == "histogram":
+		case strings.HasSuffix(base, "_sum") && types[strings.TrimSuffix(base, "_sum")] == "histogram":
 			fam := trimBaseSuffix(name, "_sum")
 			v, err := strconv.ParseFloat(valStr, 64)
 			if err != nil {
@@ -326,7 +361,7 @@ func ParsePrometheus(r io.Reader) (Snapshot, error) {
 			}
 			h.sum = v
 			continue
-		case strings.HasSuffix(base, "_count") && types[strings.TrimSuffix(base, "_count")+"_bucket"] == "histogram":
+		case strings.HasSuffix(base, "_count") && types[strings.TrimSuffix(base, "_count")] == "histogram":
 			fam := trimBaseSuffix(name, "_count")
 			n, err := strconv.ParseUint(valStr, 10, 64)
 			if err != nil {
@@ -406,22 +441,28 @@ func extractLabel(name, label string) (value, rest string, err error) {
 	return value, rest, nil
 }
 
-// splitLabels splits a label-block body on commas outside quotes.
+// splitLabels splits a label-block body on commas outside quotes. The
+// scanner consumes backslash escapes inside quoted values byte-by-byte,
+// so a value ending in a literal backslash (`a\"` after quoting: the
+// closing quote is preceded by `\\`) still terminates the quote — a
+// look-behind for '\\' would misread it as escaped.
 func splitLabels(body string) []string {
 	var out []string
-	depth := false
+	inQuote := false
 	start := 0
 	for i := 0; i < len(body); i++ {
-		switch body[i] {
-		case '"':
-			if i == 0 || body[i-1] != '\\' {
-				depth = !depth
+		switch c := body[i]; {
+		case inQuote:
+			if c == '\\' {
+				i++ // skip the escaped byte
+			} else if c == '"' {
+				inQuote = false
 			}
-		case ',':
-			if !depth {
-				out = append(out, body[start:i])
-				start = i + 1
-			}
+		case c == '"':
+			inQuote = true
+		case c == ',':
+			out = append(out, body[start:i])
+			start = i + 1
 		}
 	}
 	if start < len(body) {

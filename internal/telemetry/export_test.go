@@ -57,7 +57,7 @@ func TestPrometheusFormatShape(t *testing.T) {
 		"molcache_hits_total 120",
 		"# TYPE molcache_free_molecules gauge",
 		`molcache_region_miss_rate{asid="1"} 0.125`,
-		"# TYPE molcache_access_latency_cycles_bucket histogram",
+		"# TYPE molcache_access_latency_cycles histogram",
 		`molcache_access_latency_cycles_bucket{le="+Inf"} 5`,
 		"molcache_access_latency_cycles_count 5",
 		"molcache_access_latency_cycles_sum 714",

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// drive simulates n accesses against st, opening the canonical pipeline
+// spans for each sampled one, and returns how many were sampled.
+func drive(st *SpanTracer, n int) int {
+	sampled := 0
+	for at := uint64(1); at <= uint64(n); at++ {
+		if !st.StartAccess(at, uint16(at%3)) {
+			continue
+		}
+		sampled++
+		st.Begin("molcache_access")
+		st.Begin("molcache_access_region_lookup")
+		st.End()
+		st.Begin("molcache_access_tag_probe")
+		st.EndValue(int64(at % 7))
+		st.End()
+		st.FinishAccess()
+	}
+	return sampled
+}
+
+func TestSpanSamplingDeterministic(t *testing.T) {
+	a := NewSpanTracer(8, 0)
+	b := NewSpanTracer(8, 0)
+	drive(a, 100)
+	drive(b, 100)
+
+	// 1-in-8 of 100 accesses starting at access 1: accesses 1,9,...,97.
+	if got, want := a.SampledAccesses(), uint64(13); got != want {
+		t.Fatalf("sampled = %d, want %d", got, want)
+	}
+	as, bs := a.Spans(), b.Spans()
+	if len(as) != len(bs) || len(as) != 13*3 {
+		t.Fatalf("span counts: %d vs %d, want %d", len(as), len(bs), 13*3)
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, as[i], bs[i])
+		}
+	}
+	if a.Drops() != 0 {
+		t.Fatalf("unexpected drops: %d", a.Drops())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	st := NewSpanTracer(1, 0)
+	if !st.StartAccess(1, 4) {
+		t.Fatal("access 1 must always be sampled")
+	}
+	st.Begin("molcache_access")
+	st.Begin("molcache_access_tag_probe")
+	st.EndValue(5)
+	st.End()
+	st.FinishAccess()
+
+	spans := st.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	inner, outer := spans[0], spans[1] // completion order: inner first
+	if inner.Name != "molcache_access_tag_probe" || outer.Name != "molcache_access" {
+		t.Fatalf("unexpected order: %q then %q", inner.Name, outer.Name)
+	}
+	if inner.Depth != 1 || outer.Depth != 0 {
+		t.Fatalf("depths %d/%d, want 1/0", inner.Depth, outer.Depth)
+	}
+	if inner.Value != 5 {
+		t.Fatalf("inner value = %d, want 5", inner.Value)
+	}
+	// Containment: the outer interval must cover the inner one.
+	if outer.Start >= inner.Start || outer.Start+outer.Dur <= inner.Start+inner.Dur {
+		t.Fatalf("outer [%d,+%d] does not contain inner [%d,+%d]",
+			outer.Start, outer.Dur, inner.Start, inner.Dur)
+	}
+	if inner.ASID != 4 || outer.At != 1 {
+		t.Fatalf("span metadata not propagated: %+v / %+v", inner, outer)
+	}
+}
+
+func TestSpanUnsampledIsInert(t *testing.T) {
+	st := NewSpanTracer(1000, 0)
+	if st.StartAccess(2, 1) {
+		t.Fatal("access 2 sampled at 1-in-1000")
+	}
+	st.Begin("molcache_access")
+	st.End()
+	if st.Len() != 0 {
+		t.Fatalf("inert tracer recorded %d spans", st.Len())
+	}
+
+	var nilTracer *SpanTracer
+	if nilTracer.StartAccess(1, 0) {
+		t.Fatal("nil tracer sampled an access")
+	}
+	nilTracer.Begin("molcache_access")
+	nilTracer.EndValue(1)
+	nilTracer.FinishAccess()
+	nilTracer.BeginSolo("resize_tick", 1, 0)
+	nilTracer.EndSolo()
+	if nilTracer.Len() != 0 || nilTracer.Drops() != 0 || nilTracer.Enabled() {
+		t.Fatal("nil tracer is not inert")
+	}
+}
+
+func TestSpanBufferBoundedAndDropsCounted(t *testing.T) {
+	st := NewSpanTracer(1, 4)
+	drive(st, 10) // 10 sampled accesses x 3 spans = 30 attempts
+	if st.Len() != 4 {
+		t.Fatalf("buffer holds %d spans, want limit 4", st.Len())
+	}
+	if got, want := st.Drops(), uint64(30-4); got != want {
+		t.Fatalf("drops = %d, want %d", got, want)
+	}
+}
+
+func TestSpanSolo(t *testing.T) {
+	st := NewSpanTracer(1000, 0)
+	st.BeginSolo("resize_tick", 25000, 0)
+	st.EndSolo()
+	spans := st.Spans()
+	if len(spans) != 1 || spans[0].Name != "resize_tick" || spans[0].At != 25000 {
+		t.Fatalf("solo span not recorded: %+v", spans)
+	}
+	// A later sampled access must still work.
+	if !st.StartAccess(1, 1) {
+		t.Fatal("access 1 not sampled after solo span")
+	}
+	st.Begin("molcache_access")
+	st.End()
+	st.FinishAccess()
+	if st.Len() != 2 {
+		t.Fatalf("got %d spans, want 2", st.Len())
+	}
+}
+
+func TestSpanUnbalancedFinishCountsDrop(t *testing.T) {
+	st := NewSpanTracer(1, 0)
+	st.StartAccess(1, 0)
+	st.Begin("molcache_access")
+	st.Begin("molcache_access_tag_probe") // left open
+	st.FinishAccess()
+	if st.Drops() != 2 {
+		t.Fatalf("drops = %d, want 2 for two unclosed spans", st.Drops())
+	}
+	// The tracer must be clean for the next sample.
+	st.StartAccess(2, 0)
+	st.Begin("molcache_access")
+	st.End()
+	st.FinishAccess()
+	if got := st.Spans(); len(got) != 1 || got[0].Depth != 0 {
+		t.Fatalf("tracer not reset after unbalanced access: %+v", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	st := NewSpanTracer(2, 0)
+	drive(st, 4) // samples accesses 1 and 3 (asids 1 and 0)
+	var b strings.Builder
+	if err := st.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+			Args struct {
+				At    uint64 `json:"at"`
+				Value int64  `json:"value"`
+				Name  string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.PID != 1 || ev.TID == 0 {
+				t.Fatalf("bad pid/tid on %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 2 sampled accesses x 3 spans, plus process_name and two thread_name
+	// metadata records (asids 0 and 1).
+	if complete != 6 || meta != 3 {
+		t.Fatalf("complete=%d meta=%d, want 6 and 3", complete, meta)
+	}
+	// Deterministic output.
+	var b2 strings.Builder
+	st2 := NewSpanTracer(2, 0)
+	drive(st2, 4)
+	st2.WriteChromeTrace(&b2)
+	if b.String() != b2.String() {
+		t.Fatal("trace output is not deterministic")
+	}
+	// Nil tracer still writes a valid empty trace.
+	var empty strings.Builder
+	var nilTracer *SpanTracer
+	if err := nilTracer.WriteChromeTrace(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "traceEvents") {
+		t.Fatalf("empty trace malformed: %s", empty.String())
+	}
+}
+
+func TestSpanDisabledZeroAllocs(t *testing.T) {
+	var nilTracer *SpanTracer
+	attached := NewSpanTracer(1<<30, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		nilTracer.StartAccess(7, 1)
+		nilTracer.Begin("molcache_access")
+		nilTracer.End()
+		attached.StartAccess(7, 1) // unsampled: (7-1)%2^30 != 0
+		attached.Begin("molcache_access")
+		attached.End()
+		attached.FinishAccess()
+	}); n != 0 {
+		t.Fatalf("disabled span path allocates %v/op", n)
+	}
+}

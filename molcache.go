@@ -83,6 +83,12 @@ type (
 	Controller = resize.Controller
 	// ResizeEvent records one resize decision.
 	ResizeEvent = resize.Event
+	// ResizeDecision is one reasoned entry of the controller's decision
+	// log: Algorithm 1's inputs (miss rate, goal, free pool, period), the
+	// action it chose and a human-readable reason. Controller.Decisions
+	// returns the retained log; Controller.DecisionCount counts every
+	// decision ever made (the log is a bounded ring).
+	ResizeDecision = resize.Decision
 	// TriggerKind selects constant or adaptive resize scheduling.
 	TriggerKind = resize.TriggerKind
 
@@ -151,6 +157,13 @@ type (
 	MetricsSnapshot = telemetry.Snapshot
 	// ProfileConfig wires -cpuprofile / -memprofile / -trace flags.
 	ProfileConfig = telemetry.ProfileConfig
+	// SpanTracer samples accesses deterministically (1 in every) and
+	// records each pipeline stage of a sampled access as a nested span.
+	// A nil *SpanTracer is a valid no-op; WriteChromeTrace exports the
+	// buffer in Chrome trace-event format (Perfetto/chrome://tracing).
+	SpanTracer = telemetry.SpanTracer
+	// SpanEvent is one recorded pipeline span.
+	SpanEvent = telemetry.SpanEvent
 
 	// FaultCampaign is a deterministic schedule of hardware faults
 	// (molecule failures, line corruptions, NoC delays) keyed to the
@@ -327,6 +340,13 @@ func NewTracer(ringSize int) *Tracer { return telemetry.NewTracer(ringSize) }
 // valid no-op registry.
 func NewRegistry() *Registry { return telemetry.NewRegistry() }
 
+// NewSpanTracer builds a span tracer sampling one access in `every`
+// (0 selects the default 1-in-64) with a buffer of `limit` spans
+// (<= 0 selects the default). A nil *SpanTracer is a valid no-op.
+func NewSpanTracer(every uint64, limit int) *SpanTracer {
+	return telemetry.NewSpanTracer(every, limit)
+}
+
 // ParseMetricsJSON parses a JSON metrics snapshot (Snapshot.JSON's
 // output) back into a MetricsSnapshot.
 func ParseMetricsJSON(data []byte) (MetricsSnapshot, error) {
@@ -412,6 +432,15 @@ func NewSimulator(mcfg MolecularConfig, rcfg ResizeConfig) (*Simulator, error) {
 func (s *Simulator) AttachTelemetry(tr *Tracer, reg *Registry) {
 	s.Cache.AttachTelemetry(tr, reg)
 	s.Controller.AttachTelemetry(tr, reg)
+}
+
+// AttachSpans routes both the cache's access pipeline and the
+// controller's resize passes through st as sampled nested spans.
+// Attaching nil detaches; the unsampled and detached paths are
+// allocation-free.
+func (s *Simulator) AttachSpans(st *SpanTracer) {
+	s.Cache.AttachSpans(st)
+	s.Controller.AttachSpans(st)
 }
 
 // InjectFaults attaches a fault campaign to the simulator's cache.

@@ -1,0 +1,88 @@
+#!/bin/sh
+# Smoke test for the live observability plane: start molsim with -serve
+# on an ephemeral port, poll until the server answers, then assert that
+# /metrics, /regions, /decisions and / all return non-empty, well-formed
+# output. Exits nonzero (and prints the simulator log) on any failure.
+set -eu
+
+PORT="${OBS_SMOKE_PORT:-19464}"
+ADDR="127.0.0.1:${PORT}"
+DIR="$(mktemp -d)"
+LOG="${DIR}/molsim.log"
+
+cleanup() {
+	kill "${SIM_PID}" 2>/dev/null || true
+	wait "${SIM_PID}" 2>/dev/null || true
+	rm -rf "${DIR}"
+}
+
+fail() {
+	echo "obs-smoke: FAIL: $1" >&2
+	echo "--- molsim log ---" >&2
+	cat "${LOG}" >&2 || true
+	exit 1
+}
+
+# fetch URL OUT: curl with a fallback to wget for minimal images.
+fetch() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS -o "$2" "$1"
+	else
+		wget -q -O "$2" "$1"
+	fi
+}
+
+echo "obs-smoke: starting molsim -serve ${ADDR}"
+go run ./cmd/molsim \
+	-cache molecular:2MB:1x4:Randy -mix crafty,CRC,DRR -refs 1500000 \
+	-serve "${ADDR}" -publish-every 8192 -serve-linger 60s \
+	>"${LOG}" 2>&1 &
+SIM_PID=$!
+trap cleanup EXIT INT TERM
+
+# Poll until the server is up (go run compiles first, so be patient).
+BASE="http://${ADDR}"
+i=0
+until fetch "${BASE}/" "${DIR}/index.txt" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "${i}" -ge 120 ]; then
+		fail "server did not come up on ${ADDR} within 120s"
+	fi
+	if ! kill -0 "${SIM_PID}" 2>/dev/null; then
+		fail "molsim exited before serving"
+	fi
+	sleep 1
+done
+
+grep -q "/decisions" "${DIR}/index.txt" || fail "index page missing endpoint listing"
+
+# Give the simulation a moment to publish a real snapshot, then assert
+# each endpoint. /regions must eventually show per-ASID topology.
+i=0
+while :; do
+	fetch "${BASE}/regions" "${DIR}/regions.json" || fail "GET /regions"
+	if grep -q '"asid"' "${DIR}/regions.json"; then
+		break
+	fi
+	i=$((i + 1))
+	if [ "${i}" -ge 60 ]; then
+		fail "/regions never published region topology: $(cat "${DIR}/regions.json")"
+	fi
+	sleep 1
+done
+grep -q '"molecules"' "${DIR}/regions.json" || fail "/regions missing molecule counts"
+grep -q '"miss_rate"' "${DIR}/regions.json" || fail "/regions missing miss rates"
+
+fetch "${BASE}/metrics" "${DIR}/metrics.prom" || fail "GET /metrics"
+grep -q '^# TYPE molcache_molecular_hits_total counter' "${DIR}/metrics.prom" \
+	|| fail "/metrics missing molecular hit counter"
+grep -q '^molcache_access_service_cycles_bucket' "${DIR}/metrics.prom" \
+	|| fail "/metrics missing service-time histogram"
+
+fetch "${BASE}/decisions" "${DIR}/decisions.json" || fail "GET /decisions"
+grep -q '"decisions"' "${DIR}/decisions.json" || fail "/decisions not well-formed"
+grep -q '"reason"' "${DIR}/decisions.json" || fail "/decisions has no reasoned entries"
+
+fetch "${BASE}/debug/pprof/cmdline" "${DIR}/pprof.txt" || fail "GET /debug/pprof/cmdline"
+
+echo "obs-smoke: OK (/ /metrics /regions /decisions /debug/pprof all served)"

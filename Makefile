@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet lint bench bench-micro fuzz faults obs-smoke clean
+.PHONY: all build test race vet lint bench bench-micro fuzz faults obs-smoke soak clean
 
 all: build vet lint test
 
@@ -43,17 +43,27 @@ bench:
 bench-micro:
 	$(GO) test -bench 'Access|CMPStep|WorkloadGeneration' -benchmem -run=NONE .
 
-# Fuzz the trace decoders (FUZZTIME per target).
+# Fuzz the trace and checkpoint decoders (FUZZTIME per target).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCompressedReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParseTextLine -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/snapshot
 
 # Start molsim with -serve, curl every introspection endpoint and assert
 # well-formed, non-empty output (the CI smoke for the live observability
 # plane).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Chaos soak: randomized kill/restore campaigns over the MOLC1
+# checkpoint path (cmd/molchaos). SOAKTIME bounds the wall clock; on any
+# divergence, invariant violation or unclean corruption rejection a
+# minimized repro bundle lands under soak-artifacts/ and the run exits
+# nonzero.
+SOAKTIME ?= 45s
+soak:
+	$(GO) run ./cmd/molchaos -duration $(SOAKTIME) -out soak-artifacts
 
 # Drive the bundled fault campaign through molsim with invariant audits;
 # exits nonzero on any violation or undelivered failure.

@@ -1,0 +1,289 @@
+package molcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"molcache/internal/faults"
+	"molcache/internal/molecular"
+	"molcache/internal/noc"
+	"molcache/internal/resize"
+	"molcache/internal/snapshot"
+	"molcache/internal/telemetry"
+)
+
+// This file is the crash-safe checkpoint/restore facade: Checkpoint
+// packs the full simulation state — cache geometry and contents, resize
+// controller state (including the decision ring), fault-injection
+// cursors, NoC traffic counters and the live telemetry registry — into
+// a MOLC1 container (internal/snapshot), and Restore rebuilds a
+// byte-identical continuation from one. A run checkpointed at access N
+// and restored produces exactly the Results, ledgers, histograms and
+// telemetry an uninterrupted run produces.
+//
+// Restores are corruption-tolerant: envelope damage (truncation, bit
+// flips, version skew) and semantic damage (states a healthy simulator
+// cannot reach) surface as typed errors naming the failing section, and
+// RestoreOrColdStart degrades to a fresh simulator while counting the
+// failure on the molcache_snapshot_restore_failures metric. Every
+// successful restore passes the full invariant suite before the engine
+// resumes.
+
+// Checkpoint section names.
+const (
+	sectionMeta      = "meta"
+	sectionConfig    = "config"
+	sectionCache     = "cache"
+	sectionResize    = "resize"
+	sectionTelemetry = "telemetry"
+	sectionNoC       = "noc"
+	sectionFaults    = "faults"
+)
+
+// SnapshotError is the typed error a failed restore reports: Section
+// names the MOLC1 section that was corrupt or inconsistent.
+type SnapshotError = snapshot.Error
+
+// checkpointMeta is quick-inspection context (molchaos repro bundles
+// and healthz read it without decoding the heavyweight sections).
+type checkpointMeta struct {
+	Addresses uint64 `json:"addresses"`
+}
+
+// meshGeom records an attached interconnect's construction parameters.
+type meshGeom struct {
+	W          int     `json:"w"`
+	H          int     `json:"h"`
+	HopLatency uint64  `json:"hop_latency"`
+	HopEnergy  float64 `json:"hop_energy"`
+}
+
+// checkpointConfig carries the configurations needed to rebuild the
+// simulator skeleton before state is poured back in.
+type checkpointConfig struct {
+	Molecular molecular.Config `json:"molecular"`
+	Resize    resize.Config    `json:"resize"`
+	Mesh      *meshGeom        `json:"mesh,omitempty"`
+}
+
+// checkpointFaults carries an attached injector's campaign and delivery
+// cursors.
+type checkpointFaults struct {
+	Campaign faults.Campaign    `json:"campaign"`
+	Cursors  faults.CursorState `json:"cursors"`
+}
+
+// sectionErr wraps a semantic decode/restore failure as a typed
+// *SnapshotError naming the section, matching the envelope decoder's
+// error shape so callers have one error type to inspect.
+func sectionErr(section string, err error) error {
+	return &snapshot.Error{Section: section, Reason: err.Error()}
+}
+
+// EncodeCheckpoint serializes the simulator's complete state as a MOLC1
+// container. Telemetry, interconnect and fault sections appear only
+// when the corresponding attachment exists.
+func (s *Simulator) EncodeCheckpoint() ([]byte, error) {
+	cache := s.Cache
+	cfg := checkpointConfig{
+		Molecular: cache.Config(),
+		Resize:    s.Controller.Config(),
+	}
+	if m := cache.Interconnect(); m != nil {
+		cfg.Mesh = &meshGeom{
+			W: m.Width(), H: m.Height(),
+			HopLatency: m.HopLatency(), HopEnergy: m.HopEnergy(),
+		}
+	}
+	sections := make([]snapshot.Section, 0, 7)
+	add := func(name string, v any) error {
+		payload, err := json.Marshal(v)
+		if err != nil {
+			return sectionErr(name, err)
+		}
+		sections = append(sections, snapshot.Section{Name: name, Payload: payload})
+		return nil
+	}
+	if err := add(sectionMeta, checkpointMeta{Addresses: cache.Addresses()}); err != nil {
+		return nil, err
+	}
+	if err := add(sectionConfig, cfg); err != nil {
+		return nil, err
+	}
+	if err := add(sectionCache, cache.CaptureState()); err != nil {
+		return nil, err
+	}
+	if err := add(sectionResize, s.Controller.CaptureState()); err != nil {
+		return nil, err
+	}
+	if m := cache.Interconnect(); m != nil {
+		if err := add(sectionNoC, m.Stats()); err != nil {
+			return nil, err
+		}
+	}
+	if inj := cache.Faults(); inj != nil {
+		if err := add(sectionFaults, checkpointFaults{
+			Campaign: inj.Campaign(), Cursors: inj.CursorState(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if reg := cache.Registry(); reg != nil {
+		if err := add(sectionTelemetry, reg.AtomicSnapshot()); err != nil {
+			return nil, err
+		}
+	}
+	return snapshot.Encode(sections)
+}
+
+// Checkpoint writes the simulator's state to path crash-safely (temp
+// file + fsync + atomic rename): a crash mid-write leaves the previous
+// checkpoint intact, never a torn file.
+func (s *Simulator) Checkpoint(path string) error {
+	data, err := s.EncodeCheckpoint()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteRaw(path, data)
+}
+
+// RestoreSimulatorBytes rebuilds a simulator from an encoded checkpoint.
+// tr and reg are the caller's telemetry attachments (either may be nil);
+// when reg is non-nil the snapshot's instrument values are loaded into
+// it after attachment, so the registry continues exactly where the
+// checkpointed one left off. The restored simulator passes the full
+// invariant suite (structural rules + index consistency) before being
+// returned; any corruption yields a typed error naming the section.
+func RestoreSimulatorBytes(data []byte, tr *Tracer, reg *Registry) (*Simulator, error) {
+	sections, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	unpack := func(name string, v any) error {
+		payload, err := snapshot.Find(sections, name)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(payload, v); err != nil {
+			return sectionErr(name, err)
+		}
+		return nil
+	}
+	var cfg checkpointConfig
+	if err := unpack(sectionConfig, &cfg); err != nil {
+		return nil, err
+	}
+	var cacheState molecular.CacheState
+	if err := unpack(sectionCache, &cacheState); err != nil {
+		return nil, err
+	}
+	var ctrlState resize.ControllerState
+	if err := unpack(sectionResize, &ctrlState); err != nil {
+		return nil, err
+	}
+
+	cache, err := molecular.RestoreCache(cfg.Molecular, cacheState)
+	if err != nil {
+		return nil, sectionErr(sectionCache, err)
+	}
+	ctrl, err := resize.New(cache, cfg.Resize)
+	if err != nil {
+		return nil, sectionErr(sectionConfig, err)
+	}
+	if err := ctrl.RestoreState(ctrlState); err != nil {
+		return nil, sectionErr(sectionResize, err)
+	}
+	sim := &Simulator{Cache: cache, Controller: ctrl}
+
+	if cfg.Mesh != nil {
+		mesh, err := noc.New(cfg.Mesh.W, cfg.Mesh.H, cfg.Mesh.HopLatency, cfg.Mesh.HopEnergy)
+		if err != nil {
+			return nil, sectionErr(sectionConfig, err)
+		}
+		if err := cache.AttachInterconnect(mesh); err != nil {
+			return nil, sectionErr(sectionConfig, err)
+		}
+		var st noc.Stats
+		if err := unpack(sectionNoC, &st); err != nil {
+			return nil, err
+		}
+		if err := mesh.RestoreStats(st); err != nil {
+			return nil, sectionErr(sectionNoC, err)
+		}
+	}
+
+	if _, err := snapshot.Find(sections, sectionFaults); err == nil {
+		var fs checkpointFaults
+		if err := unpack(sectionFaults, &fs); err != nil {
+			return nil, err
+		}
+		inj, err := faults.NewInjector(fs.Campaign)
+		if err != nil {
+			return nil, sectionErr(sectionFaults, err)
+		}
+		if err := cache.AttachFaults(inj); err != nil {
+			return nil, sectionErr(sectionFaults, err)
+		}
+		if err := inj.RestoreCursors(fs.Cursors); err != nil {
+			return nil, sectionErr(sectionFaults, err)
+		}
+	}
+
+	// Telemetry: re-attach first so gauge funcs and per-region
+	// instruments exist, then pour the snapshot's values back in.
+	sim.AttachTelemetry(tr, reg)
+	if reg != nil {
+		if payload, err := snapshot.Find(sections, sectionTelemetry); err == nil {
+			var ms telemetry.Snapshot
+			if err := json.Unmarshal(payload, &ms); err != nil {
+				return nil, sectionErr(sectionTelemetry, err)
+			}
+			if err := reg.LoadSnapshot(ms); err != nil {
+				return nil, sectionErr(sectionTelemetry, err)
+			}
+		}
+	}
+
+	// The restore gate: the full invariant rule set must hold before
+	// the engine serves a single access.
+	if vs := sim.CheckInvariants(); len(vs) > 0 {
+		return nil, sectionErr(sectionCache,
+			fmt.Errorf("restored state violates invariant %s: %s", vs[0].Rule, vs[0].Detail))
+	}
+	return sim, nil
+}
+
+// RestoreSimulator reads a MOLC1 checkpoint file and rebuilds the
+// simulator from it (see RestoreSimulatorBytes).
+func RestoreSimulator(path string, tr *Tracer, reg *Registry) (*Simulator, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("molcache: read checkpoint %s: %w", path, err)
+	}
+	return RestoreSimulatorBytes(data, tr, reg)
+}
+
+// RestoreOrColdStart attempts a restore from path; on any failure —
+// unreadable file, corrupted envelope, inconsistent state — it reports
+// the failure on reg's molcache_snapshot_restore_failures counter and
+// falls back to a cold-started simulator built from the given configs.
+// The returned restoreErr is nil on a successful restore and carries
+// the (already absorbed) failure otherwise; err is non-nil only when
+// even the cold start fails.
+func RestoreOrColdStart(path string, mcfg MolecularConfig, rcfg ResizeConfig,
+	tr *Tracer, reg *Registry) (sim *Simulator, restoreErr, err error) {
+	sim, restoreErr = RestoreSimulator(path, tr, reg)
+	if restoreErr == nil {
+		return sim, nil, nil
+	}
+	if reg != nil {
+		reg.Counter("molcache_snapshot_restore_failures").Inc()
+	}
+	sim, err = NewSimulator(mcfg, rcfg)
+	if err != nil {
+		return nil, restoreErr, err
+	}
+	sim.AttachTelemetry(tr, reg)
+	return sim, restoreErr, nil
+}

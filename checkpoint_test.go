@@ -1,0 +1,259 @@
+package molcache_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"molcache"
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/snapshot"
+)
+
+// ckptConfig is the small simulator geometry the facade checkpoint tests
+// run on (the heavyweight cross-policy sweep lives in the differential
+// oracle; these tests exercise the file path and the error model).
+func ckptConfig() (molcache.MolecularConfig, molcache.ResizeConfig) {
+	mcfg := molcache.MolecularConfig{
+		TotalSize:       512 << 10,
+		MoleculeSize:    8 << 10,
+		TilesPerCluster: 4,
+		Clusters:        2,
+		Policy:          molecular.RandyReplacement,
+		LineFactor:      2,
+		Seed:            77,
+	}
+	rcfg := molcache.ResizeConfig{
+		Period:        400,
+		MinPeriod:     200,
+		MaxPeriod:     5_000,
+		MaxAllocation: 4,
+		DefaultGoal:   0.2,
+	}
+	return mcfg, rcfg
+}
+
+// ckptSim builds a telemetry-attached simulator and runs it through the
+// first half of the reference trace, returning the remaining refs.
+func ckptSim(t *testing.T, reg *molcache.Registry) (*molcache.Simulator, []molcache.Ref) {
+	t.Helper()
+	mcfg, rcfg := ckptConfig()
+	sim, err := molcache.NewSimulator(mcfg, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AttachTelemetry(nil, reg)
+	refs := diffTrace(99)
+	cut := len(refs) / 2
+	for _, r := range refs[:cut] {
+		sim.Access(r)
+	}
+	return sim, refs[cut:]
+}
+
+// TestCheckpointFileRoundTrip drives the file-level API: Checkpoint
+// writes atomically (including over an existing checkpoint), leaves no
+// temp litter, and RestoreSimulator continues byte-identically.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.molc")
+	reg := molcache.NewRegistry()
+	sim, rest := ckptSim(t, reg)
+
+	if err := sim.Checkpoint(path); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Overwriting an existing checkpoint must also be atomic.
+	if err := sim.Checkpoint(path); err != nil {
+		t.Fatalf("Checkpoint overwrite: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+
+	reg2 := molcache.NewRegistry()
+	sim2, err := molcache.RestoreSimulator(path, nil, reg2)
+	if err != nil {
+		t.Fatalf("RestoreSimulator: %v", err)
+	}
+	for i, r := range rest {
+		ra, rb := sim.Access(r), sim2.Access(r)
+		if ra != rb {
+			t.Fatalf("access %d after restore: %+v != %+v", i, ra, rb)
+		}
+	}
+	if a, b := *sim.Cache.Ledger(), *sim2.Cache.Ledger(); a.Total != b.Total {
+		t.Errorf("ledger totals diverged: %+v != %+v", a.Total, b.Total)
+	}
+}
+
+// TestRestoreCorruptionTyped feeds damaged checkpoints to the restore
+// path: every failure mode must surface as a typed *SnapshotError naming
+// the failing section — never a panic, never an untyped error.
+func TestRestoreCorruptionTyped(t *testing.T) {
+	reg := molcache.NewRegistry()
+	sim, _ := ckptSim(t, reg)
+	data, err := sim.EncodeCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// mutate re-encodes the container after damaging one section's
+	// payload through a JSON round trip, so the envelope CRCs are valid
+	// and only the semantic validation can catch it.
+	mutate := func(t *testing.T, section string, fn func(payload []byte) []byte) []byte {
+		t.Helper()
+		sections, err := snapshot.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sections {
+			if sections[i].Name == section {
+				sections[i].Payload = fn(sections[i].Payload)
+			}
+		}
+		out, err := snapshot.Encode(sections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := []struct {
+		name    string
+		damaged []byte
+		section string // "" means any section is acceptable
+	}{
+		{"empty", nil, "header"},
+		{"truncated", data[:len(data)/3], ""},
+		{"bad-magic", append([]byte("NOTIT"), data[5:]...), "header"},
+		{"version-skew", func() []byte {
+			d := append([]byte(nil), data...)
+			d[5] = 99
+			return d
+		}(), "header"},
+		{"payload-bit-flip", func() []byte {
+			d := append([]byte(nil), data...)
+			d[len(d)-10] ^= 0x40
+			return d
+		}(), ""},
+		{"cache-semantic", mutate(t, "cache", func(p []byte) []byte {
+			var st molecular.CacheState
+			if err := json.Unmarshal(p, &st); err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Molecules) == 0 {
+				t.Fatal("no molecules in checkpoint")
+			}
+			st.Molecules[0].ID = 1 << 20 // out of order and out of range
+			out, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}), "cache"},
+		{"resize-semantic", mutate(t, "resize", func(p []byte) []byte {
+			var st resize.ControllerState
+			if err := json.Unmarshal(p, &st); err != nil {
+				t.Fatal(err)
+			}
+			st.Decisions = append(st.Decisions, resize.Decision{})
+			st.DecisionSeq = 0 // retained entries now exceed lifetime count
+			out, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}), "resize"},
+		{"cache-not-json", mutate(t, "cache", func([]byte) []byte {
+			return []byte("not json")
+		}), "cache"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := molcache.RestoreSimulatorBytes(tc.damaged, nil, molcache.NewRegistry())
+			if err == nil {
+				t.Fatal("damaged checkpoint restored without error")
+			}
+			var se *molcache.SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is not a *SnapshotError: %v", err)
+			}
+			if tc.section != "" && se.Section != tc.section {
+				t.Fatalf("error names section %q, want %q (%v)", se.Section, tc.section, err)
+			}
+		})
+	}
+}
+
+// TestRestoreOrColdStart checks the degraded path: a missing or damaged
+// checkpoint falls back to a cold-started simulator, reports the
+// absorbed failure, and ticks molcache_snapshot_restore_failures.
+func TestRestoreOrColdStart(t *testing.T) {
+	mcfg, rcfg := ckptConfig()
+	dir := t.TempDir()
+
+	t.Run("missing-file", func(t *testing.T) {
+		reg := molcache.NewRegistry()
+		sim, restoreErr, err := molcache.RestoreOrColdStart(
+			filepath.Join(dir, "nope.molc"), mcfg, rcfg, nil, reg)
+		if err != nil {
+			t.Fatalf("cold start failed: %v", err)
+		}
+		if sim == nil || restoreErr == nil {
+			t.Fatalf("want fallback sim + absorbed error, got sim=%v restoreErr=%v", sim, restoreErr)
+		}
+		if got := reg.Counter("molcache_snapshot_restore_failures").Value(); got != 1 {
+			t.Errorf("restore failure counter = %d, want 1", got)
+		}
+		// The fallback simulator must be serviceable.
+		sim.Access(molcache.Ref{Addr: 0x1000, ASID: 1})
+	})
+
+	t.Run("corrupt-file", func(t *testing.T) {
+		path := filepath.Join(dir, "garbage.molc")
+		if err := os.WriteFile(path, []byte("MOLC1 but not really"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reg := molcache.NewRegistry()
+		sim, restoreErr, err := molcache.RestoreOrColdStart(path, mcfg, rcfg, nil, reg)
+		if err != nil || sim == nil || restoreErr == nil {
+			t.Fatalf("want fallback, got sim=%v restoreErr=%v err=%v", sim, restoreErr, err)
+		}
+		var se *molcache.SnapshotError
+		if !errors.As(restoreErr, &se) {
+			t.Errorf("absorbed error is not typed: %v", restoreErr)
+		}
+		if got := reg.Counter("molcache_snapshot_restore_failures").Value(); got != 1 {
+			t.Errorf("restore failure counter = %d, want 1", got)
+		}
+	})
+
+	t.Run("healthy-file", func(t *testing.T) {
+		path := filepath.Join(dir, "good.molc")
+		seedReg := molcache.NewRegistry()
+		seed, _ := ckptSim(t, seedReg)
+		if err := seed.Checkpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		reg := molcache.NewRegistry()
+		sim, restoreErr, err := molcache.RestoreOrColdStart(path, mcfg, rcfg, nil, reg)
+		if err != nil || restoreErr != nil || sim == nil {
+			t.Fatalf("healthy restore: sim=%v restoreErr=%v err=%v", sim, restoreErr, err)
+		}
+		if got := reg.Counter("molcache_snapshot_restore_failures").Value(); got != 0 {
+			t.Errorf("restore failure counter = %d, want 0", got)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"molcache"
 	"molcache/internal/addr"
 	"molcache/internal/cache"
 	"molcache/internal/cmp"
@@ -54,6 +55,9 @@ func main() {
 	faultsPath := flag.String("faults", "", "fault campaign JSON to inject (molecular caches only)")
 	refProbe := flag.Bool("reference-probe", false, "use the linear probe oracle instead of the fast-path block index (molecular caches only; results are identical, simulation is slower)")
 	checkEvery := flag.Uint64("check-invariants", 0, "audit structural invariants every N L2 accesses (0 disables)")
+	checkpointPath := flag.String("checkpoint", "", "write a crash-safe MOLC1 checkpoint here at run end (molecular caches only)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "with -checkpoint, also rewrite the checkpoint every N L2 accesses (0: only at run end)")
+	restorePath := flag.String("restore", "", "restore cache and controller state from a MOLC1 checkpoint before running; -cache, -goal and -faults are ignored (the checkpoint carries them)")
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
 	obsFlags.RegisterSpans(flag.CommandLine)
@@ -81,9 +85,69 @@ func main() {
 		}
 	}()
 
-	l2, mol, err := buildCache(*cacheSpec, *seed)
+	pipe, err := obsFlags.Setup()
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer pipe.Close()
+
+	// -restore rebuilds the molecular cache and its controller from a
+	// MOLC1 checkpoint (telemetry attaches during the restore so the
+	// registry continues where the checkpointed one left off); otherwise
+	// the cache is built fresh from the -cache spec.
+	var (
+		l2   engine.Cache
+		mol  *molecular.Cache
+		ctrl *resize.Controller
+	)
+	if *restorePath != "" {
+		if *faultsPath != "" {
+			log.Fatal("-faults cannot combine with -restore: the checkpoint carries the campaign")
+		}
+		sim, err := molcache.RestoreSimulator(*restorePath, pipe.Tracer, pipe.Registry)
+		if err != nil {
+			log.Fatalf("restore %s: %v", *restorePath, err)
+		}
+		log.Printf("restored simulation state from %s (%d accesses already served)",
+			*restorePath, sim.Cache.Addresses())
+		l2, mol, ctrl = sim.Cache, sim.Cache, sim.Controller
+	} else {
+		l2, mol, err = buildCache(*cacheSpec, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *faultsPath != "" {
+			if mol == nil {
+				log.Fatal("-faults requires a molecular cache")
+			}
+			camp, err := faults.Load(*faultsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			inj, err := faults.NewInjector(camp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := mol.AttachFaults(inj); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if mol != nil {
+			ctrl, err = resize.New(mol, resize.Config{DefaultGoal: *goal})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if pipe.Tracer != nil || pipe.Registry != nil {
+			if mol != nil {
+				mol.AttachTelemetry(pipe.Tracer, pipe.Registry)
+			} else if tc, ok := l2.(*cache.Cache); ok {
+				tc.AttachTelemetry(pipe.Registry, "l2")
+			}
+			if ctrl != nil {
+				ctrl.AttachTelemetry(pipe.Tracer, pipe.Registry)
+			}
+		}
 	}
 
 	if *refProbe {
@@ -91,47 +155,6 @@ func main() {
 			log.Fatal("-reference-probe requires a molecular cache")
 		}
 		mol.UseReferenceProbe(true)
-	}
-
-	if *faultsPath != "" {
-		if mol == nil {
-			log.Fatal("-faults requires a molecular cache")
-		}
-		camp, err := faults.Load(*faultsPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		inj, err := faults.NewInjector(camp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := mol.AttachFaults(inj); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	var ctrl *resize.Controller
-	if mol != nil {
-		ctrl, err = resize.New(mol, resize.Config{DefaultGoal: *goal})
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	pipe, err := obsFlags.Setup()
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer pipe.Close()
-	if pipe.Tracer != nil || pipe.Registry != nil {
-		if mol != nil {
-			mol.AttachTelemetry(pipe.Tracer, pipe.Registry)
-		} else if tc, ok := l2.(*cache.Cache); ok {
-			tc.AttachTelemetry(pipe.Registry, "l2")
-		}
-		if ctrl != nil {
-			ctrl.AttachTelemetry(pipe.Tracer, pipe.Registry)
-		}
 	}
 	if pipe.Spans != nil {
 		if !engine.AttachSpans(l2, pipe.Spans) {
@@ -145,24 +168,56 @@ func main() {
 		log.Printf("introspection server on http://%s", pipe.Server.Addr())
 	}
 
-	// With -serve, republish the introspection snapshot every
-	// -publish-every L2 accesses from the simulation goroutine (handlers
-	// never touch live state). The initial publish makes the endpoints
-	// meaningful before the first interval elapses.
-	var onAccess func()
+	// Per-access hooks run from the simulation goroutine: with -serve,
+	// republish the introspection snapshot every -publish-every accesses
+	// (handlers never touch live state); with -checkpoint-every, rewrite
+	// the checkpoint crash-safely every N accesses.
+	var hooks []func()
 	if pipe.Publisher != nil {
 		every := *publishEvery
 		if every == 0 {
 			every = 1
 		}
 		var accesses uint64
-		onAccess = func() {
+		hooks = append(hooks, func() {
 			accesses++
 			if accesses%every == 0 {
 				pipe.Publish(mol, ctrl)
 			}
-		}
+		})
+		// The initial publish makes the endpoints meaningful before the
+		// first interval elapses.
 		pipe.Publish(mol, ctrl)
+	}
+	var sim *molcache.Simulator
+	if *checkpointEvery > 0 && *checkpointPath == "" {
+		log.Fatal("-checkpoint-every requires -checkpoint PATH")
+	}
+	if *checkpointPath != "" {
+		if mol == nil || ctrl == nil {
+			log.Fatal("-checkpoint requires a molecular cache")
+		}
+		sim = &molcache.Simulator{Cache: mol, Controller: ctrl}
+		if every := *checkpointEvery; every > 0 {
+			var accesses uint64
+			hooks = append(hooks, func() {
+				accesses++
+				if accesses%every == 0 {
+					if err := sim.Checkpoint(*checkpointPath); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				}
+			})
+		}
+	}
+	var onAccess func()
+	if len(hooks) > 0 {
+		hs := hooks
+		onAccess = func() {
+			for _, h := range hs {
+				h()
+			}
+		}
 	}
 
 	var (
@@ -185,6 +240,13 @@ func main() {
 		chk.Run() // final audit after the last access
 	}
 	pipe.Publish(mol, ctrl) // final snapshot for lingering servers
+	if sim != nil {
+		if err := sim.Checkpoint(*checkpointPath); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		} else {
+			log.Printf("checkpoint written to %s", *checkpointPath)
+		}
+	}
 
 	report(l2, mol, ctrl, asids, names, *goal)
 	if *explainResize {

@@ -1,7 +1,9 @@
 // Command moltop is a polling terminal dashboard over a molcache
 // introspection server (a simulation started with -serve): per-ASID
 // region occupancy, miss rate against goal, the last resize action and
-// headline cache metrics, refreshed in place like top(1).
+// headline cache metrics, refreshed in place like top(1). If the server
+// goes away (restart, network blip) the last good frame stays on screen
+// under a STALE banner while reconnects back off exponentially.
 //
 // Usage:
 //
@@ -43,21 +45,45 @@ func main() {
 	base = strings.TrimSuffix(base, "/")
 
 	client := &http.Client{Timeout: 5 * time.Second}
+	// The dashboard must survive introspection-server restarts: on any
+	// fetch failure the last good frame stays on screen under a visible
+	// STALE banner while reconnect attempts back off exponentially
+	// (capped), snapping back to the normal cadence on the first success.
+	const maxBackoff = 30 * time.Second
+	var (
+		lastFrame string    // last successfully rendered frame
+		lastGood  time.Time // when it was rendered
+		backoff   = *interval
+	)
 	for {
 		frame, err := render(client, base)
-		if err != nil {
-			if *once {
+		if *once {
+			if err != nil {
 				log.Fatal(err)
 			}
-			frame = fmt.Sprintf("moltop: %v (retrying every %s)\n", err, *interval)
-		}
-		if *once {
 			fmt.Print(frame)
 			return
 		}
-		// Clear and re-home like top(1); one Write per frame avoids tearing.
-		os.Stdout.WriteString("\x1b[H\x1b[2J" + frame)
-		time.Sleep(*interval)
+		if err == nil {
+			lastFrame, lastGood = frame, time.Now()
+			backoff = *interval
+			// Clear and re-home like top(1); one Write per frame avoids tearing.
+			os.Stdout.WriteString("\x1b[H\x1b[2J" + frame)
+			time.Sleep(*interval)
+			continue
+		}
+		banner := fmt.Sprintf("\x1b[7m STALE \x1b[0m %v — reconnecting in %s",
+			err, backoff.Round(time.Millisecond))
+		if lastFrame != "" {
+			banner += fmt.Sprintf("\nshowing last snapshot from %s ago",
+				time.Since(lastGood).Round(time.Second))
+		}
+		os.Stdout.WriteString("\x1b[H\x1b[2J" + banner + "\n\n" + lastFrame)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"testing"
 
+	"molcache"
+
 	"molcache/internal/faults"
 	"molcache/internal/invariant"
 	"molcache/internal/molecular"
@@ -292,6 +294,149 @@ func TestDifferentialFastPathVsReferenceProbe(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestDifferentialCheckpointRestore is the checkpoint/restore leg of the
+// oracle: a run checkpointed at mid-trace through the MOLC1 container
+// and restored into a fresh simulator must be a byte-identical
+// continuation of an uninterrupted run — access by access on the full
+// engine.Result, on coherence probes/invalidations, and at the end on
+// ledgers, probe histograms, degradation and fault counters, telemetry
+// snapshots, resize decision logs and structural captures.
+func TestDifferentialCheckpointRestore(t *testing.T) {
+	policies := []molecular.ReplacementKind{
+		molecular.RandomReplacement, molecular.RandyReplacement, molecular.LRUDirect,
+	}
+	for _, policy := range policies {
+		for _, withFaults := range []bool{false, true} {
+			name := fmt.Sprintf("%s/faults=%v", policy, withFaults)
+			policy, withFaults := policy, withFaults
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				cfg := molecular.Config{
+					TotalSize:       512 << 10,
+					MoleculeSize:    8 << 10,
+					TilesPerCluster: 4,
+					Clusters:        2,
+					Policy:          policy,
+					LineFactor:      2,
+					Seed:            2006,
+				}
+				// Side A runs uninterrupted; side B is checkpointed at
+				// mid-trace and abandoned; side C resumes from B's
+				// snapshot bytes with a fresh registry.
+				aCache, aCtrl, aReg := diffCache(t, cfg, withFaults)
+				bCache, bCtrl, bReg := diffCache(t, cfg, withFaults)
+				a := &molcache.Simulator{Cache: aCache, Controller: aCtrl}
+				b := &molcache.Simulator{Cache: bCache, Controller: bCtrl}
+				// The facade restore attaches controller telemetry too, so
+				// the live sides must carry the resize instruments as well
+				// or the final registry comparison sees extra names.
+				aCtrl.AttachTelemetry(nil, aReg)
+				bCtrl.AttachTelemetry(nil, bReg)
+
+				refs := diffTrace(1234)
+				cut := len(refs) / 2
+				for i := 0; i < cut; i++ {
+					ra := a.Access(refs[i])
+					rb := b.Access(refs[i])
+					if ra != rb {
+						t.Fatalf("pre-cut access %d: %+v != %+v (seeding broken)", i, ra, rb)
+					}
+				}
+				data, err := b.EncodeCheckpoint()
+				if err != nil {
+					t.Fatalf("EncodeCheckpoint: %v", err)
+				}
+				cReg := telemetry.NewRegistry()
+				c, err := molcache.RestoreSimulatorBytes(data, nil, cReg)
+				if err != nil {
+					t.Fatalf("RestoreSimulatorBytes: %v", err)
+				}
+				// The restored structure must equal the checkpointed one
+				// before either serves another access.
+				if bc, cc := invariant.CaptureCache(b.Cache), invariant.CaptureCache(c.Cache); !reflect.DeepEqual(bc, cc) {
+					t.Fatal("restored capture differs from checkpointed capture")
+				}
+
+				probe := rng.New(4242)
+				for i := cut; i < len(refs); i++ {
+					ra := a.Access(refs[i])
+					rc := c.Access(refs[i])
+					if ra != rc {
+						t.Fatalf("post-restore access %d (%v): uninterrupted %+v != restored %+v",
+							i, refs[i], ra, rc)
+					}
+					if i%31 == 0 {
+						addr := uint64(1+probe.Intn(3))<<32 | uint64(probe.Intn(1024))*64
+						if fa, fc := a.Cache.Contains(addr), c.Cache.Contains(addr); fa != fc {
+							t.Fatalf("access %d: Contains(%#x) uninterrupted %v != restored %v", i, addr, fa, fc)
+						}
+					}
+					if i%97 == 0 {
+						addr := refs[probe.Intn(i+1)].Addr
+						ap, ad := a.Cache.Invalidate(addr)
+						cp, cd := c.Cache.Invalidate(addr)
+						if ap != cp || ad != cd {
+							t.Fatalf("access %d: Invalidate(%#x) uninterrupted (%v,%v) != restored (%v,%v)",
+								i, addr, ap, ad, cp, cd)
+						}
+					}
+					if i == cut+2_000 {
+						if err := a.Cache.Rehome(2, 1); err != nil {
+							t.Fatal(err)
+						}
+						if err := c.Cache.Rehome(2, 1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+
+				if !reflect.DeepEqual(*a.Cache.Ledger(), *c.Cache.Ledger()) {
+					t.Errorf("ledgers diverged: uninterrupted %+v, restored %+v",
+						*a.Cache.Ledger(), *c.Cache.Ledger())
+				}
+				if !reflect.DeepEqual(a.Cache.ProbeHistogram(), c.Cache.ProbeHistogram()) {
+					t.Error("probe histograms diverged")
+				}
+				if fa, fc := a.Cache.RemoteCycles(), c.Cache.RemoteCycles(); fa != fc {
+					t.Errorf("remote cycles diverged: uninterrupted %d, restored %d", fa, fc)
+				}
+				if fa, fc := a.Degradation(), c.Degradation(); fa != fc {
+					t.Errorf("degradation stats diverged: uninterrupted %+v, restored %+v", fa, fc)
+				}
+				if withFaults {
+					if fa, fc := a.FaultStats(), c.FaultStats(); fa != fc {
+						t.Errorf("fault stats diverged: uninterrupted %+v, restored %+v", fa, fc)
+					}
+				}
+				as, cs := aReg.Snapshot(), cReg.Snapshot()
+				if !reflect.DeepEqual(as.Counters, cs.Counters) {
+					t.Errorf("telemetry counters diverged:\nuninterrupted: %v\nrestored: %v", as.Counters, cs.Counters)
+				}
+				if !reflect.DeepEqual(as.Gauges, cs.Gauges) {
+					t.Errorf("telemetry gauges diverged:\nuninterrupted: %v\nrestored: %v", as.Gauges, cs.Gauges)
+				}
+				if !reflect.DeepEqual(as.Histograms, cs.Histograms) {
+					t.Errorf("telemetry histograms diverged:\nuninterrupted: %v\nrestored: %v", as.Histograms, cs.Histograms)
+				}
+				if !reflect.DeepEqual(a.Controller.Decisions(), c.Controller.Decisions()) {
+					t.Errorf("decision logs diverged:\nuninterrupted: %+v\nrestored: %+v",
+						a.Controller.Decisions(), c.Controller.Decisions())
+				}
+				if fa, fc := a.Controller.DecisionCount(), c.Controller.DecisionCount(); fa != fc {
+					t.Errorf("decision counts diverged: uninterrupted %d, restored %d", fa, fc)
+				}
+				ac, cc := invariant.CaptureCache(a.Cache), invariant.CaptureCache(c.Cache)
+				if !reflect.DeepEqual(ac, cc) {
+					t.Error("final invariant captures diverged")
+				}
+				if vs := invariant.Check(cc); len(vs) != 0 {
+					t.Errorf("restored capture has violations: %v", vs)
+				}
+			})
 		}
 	}
 }

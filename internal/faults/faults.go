@@ -126,27 +126,68 @@ func Load(path string) (Campaign, error) {
 	return Parse(data)
 }
 
+// ValidationError reports one invalid value in a campaign, with enough
+// context to point at the offending JSON: the schedule section, the
+// entry index within it (-1 for section-level problems such as a random
+// spec's window), the field name, and a human-readable reason.
+type ValidationError struct {
+	// Section is the campaign JSON key, e.g. "noc_delays".
+	Section string
+	// Index is the entry's position within the section, or -1 when the
+	// problem is with the section as a whole.
+	Index int
+	// Field is the offending JSON field within the entry.
+	Field string
+	// Reason explains what is wrong with the value.
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("faults: %s[%d].%s: %s", e.Section, e.Index, e.Field, e.Reason)
+	}
+	return fmt.Sprintf("faults: %s.%s: %s", e.Section, e.Field, e.Reason)
+}
+
 // Validate checks the campaign's internal consistency. Target bounds
 // (molecule IDs, line indices) are checked later, at Materialize, when
-// the cache geometry is known.
+// the cache geometry is known. A failure is always a *ValidationError
+// naming the section, entry index and field.
 func (c Campaign) Validate() error {
 	for i, f := range c.MoleculeFailures {
 		if f.Molecule < 0 {
-			return fmt.Errorf("faults: molecule_failures[%d]: negative molecule %d", i, f.Molecule)
+			return &ValidationError{
+				Section: "molecule_failures", Index: i, Field: "molecule",
+				Reason: fmt.Sprintf("negative molecule %d", f.Molecule),
+			}
 		}
 	}
 	for i, l := range c.LineCorruptions {
-		if l.Molecule < 0 || l.Line < 0 {
-			return fmt.Errorf("faults: line_corruptions[%d]: negative target (molecule %d, line %d)",
-				i, l.Molecule, l.Line)
+		if l.Molecule < 0 {
+			return &ValidationError{
+				Section: "line_corruptions", Index: i, Field: "molecule",
+				Reason: fmt.Sprintf("negative molecule %d", l.Molecule),
+			}
+		}
+		if l.Line < 0 {
+			return &ValidationError{
+				Section: "line_corruptions", Index: i, Field: "line",
+				Reason: fmt.Sprintf("negative line %d", l.Line),
+			}
 		}
 	}
 	for i, d := range c.NoCDelays {
 		if d.ExtraCycles == 0 && d.DropAttempts == 0 {
-			return fmt.Errorf("faults: noc_delays[%d]: neither extra cycles nor dropped attempts", i)
+			return &ValidationError{
+				Section: "noc_delays", Index: i, Field: "extra_cycles",
+				Reason: "neither extra cycles nor dropped attempts; the window would be a no-op",
+			}
 		}
 		if d.DropAttempts < 0 {
-			return fmt.Errorf("faults: noc_delays[%d]: negative drop_attempts %d", i, d.DropAttempts)
+			return &ValidationError{
+				Section: "noc_delays", Index: i, Field: "drop_attempts",
+				Reason: fmt.Sprintf("negative drop_attempts %d", d.DropAttempts),
+			}
 		}
 	}
 	for _, spec := range []struct {
@@ -161,10 +202,16 @@ func (c Campaign) Validate() error {
 			continue
 		}
 		if s.Count < 0 {
-			return fmt.Errorf("faults: %s: negative count %d", name, s.Count)
+			return &ValidationError{
+				Section: name, Index: -1, Field: "count",
+				Reason: fmt.Sprintf("negative count %d", s.Count),
+			}
 		}
 		if s.Count > 0 && s.End <= s.Start {
-			return fmt.Errorf("faults: %s: empty window [%d, %d)", name, s.Start, s.End)
+			return &ValidationError{
+				Section: name, Index: -1, Field: "end",
+				Reason: fmt.Sprintf("empty window [%d, %d)", s.Start, s.End),
+			}
 		}
 	}
 	return nil
@@ -363,4 +410,58 @@ func (in *Injector) Stats() Stats {
 		return Stats{}
 	}
 	return in.stats
+}
+
+// Campaign returns the campaign the injector was built from. Checkpoints
+// persist the campaign (the materialized schedules are a pure function
+// of it plus the cache geometry) instead of the expanded event lists.
+func (in *Injector) Campaign() Campaign {
+	if in == nil {
+		return Campaign{}
+	}
+	return in.campaign
+}
+
+// CursorState is the injector's mutable delivery position: how far the
+// failure and corruption cursors have advanced, and the counters bumped
+// along the way. Together with the Campaign and the cache geometry it
+// fully determines the injector's future behaviour.
+type CursorState struct {
+	FailCursor    int
+	CorruptCursor int
+	Stats         Stats
+}
+
+// CursorState captures the delivery position for a checkpoint.
+func (in *Injector) CursorState() CursorState {
+	if in == nil {
+		return CursorState{}
+	}
+	return CursorState{
+		FailCursor:    in.failCursor,
+		CorruptCursor: in.corruptCursor,
+		Stats:         in.stats,
+	}
+}
+
+// RestoreCursors rewinds (or advances) the injector to a previously
+// captured delivery position. The injector must already be materialized
+// so the cursor bounds can be checked against the expanded schedules.
+func (in *Injector) RestoreCursors(cs CursorState) error {
+	if in == nil {
+		return fmt.Errorf("faults: cannot restore cursors on a nil injector")
+	}
+	if !in.materialized {
+		return fmt.Errorf("faults: cannot restore cursors before Materialize")
+	}
+	if cs.FailCursor < 0 || cs.FailCursor > len(in.failures) {
+		return fmt.Errorf("faults: failure cursor %d outside schedule of %d", cs.FailCursor, len(in.failures))
+	}
+	if cs.CorruptCursor < 0 || cs.CorruptCursor > len(in.corruptions) {
+		return fmt.Errorf("faults: corruption cursor %d outside schedule of %d", cs.CorruptCursor, len(in.corruptions))
+	}
+	in.failCursor = cs.FailCursor
+	in.corruptCursor = cs.CorruptCursor
+	in.stats = cs.Stats
+	return nil
 }

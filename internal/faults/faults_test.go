@@ -32,21 +32,149 @@ func TestParseRejectsUnknownFields(t *testing.T) {
 }
 
 func TestValidateRejectsBadCampaigns(t *testing.T) {
+	// Each malformed campaign must produce a *ValidationError naming the
+	// section, the entry index within it, and the offending field.
 	cases := []struct {
-		name string
-		c    Campaign
+		name    string
+		c       Campaign
+		section string
+		index   int
+		field   string
 	}{
-		{"negative molecule", Campaign{MoleculeFailures: []MoleculeFailure{{At: 1, Molecule: -1}}}},
-		{"negative line", Campaign{LineCorruptions: []LineCorruption{{At: 1, Molecule: 0, Line: -2}}}},
-		{"no-op delay", Campaign{NoCDelays: []NoCDelay{{At: 1}}}},
-		{"negative drops", Campaign{NoCDelays: []NoCDelay{{At: 1, ExtraCycles: 1, DropAttempts: -1}}}},
-		{"empty random window", Campaign{RandomMoleculeFailures: &RandomSpec{Count: 3, Start: 10, End: 10}}},
-		{"negative random count", Campaign{RandomLineCorruptions: &RandomSpec{Count: -1, Start: 0, End: 10}}},
+		{
+			"negative molecule",
+			Campaign{MoleculeFailures: []MoleculeFailure{{At: 5, Molecule: 0}, {At: 1, Molecule: -1}}},
+			"molecule_failures", 1, "molecule",
+		},
+		{
+			"negative corruption molecule",
+			Campaign{LineCorruptions: []LineCorruption{{At: 1, Molecule: -3, Line: 0}}},
+			"line_corruptions", 0, "molecule",
+		},
+		{
+			"negative line",
+			Campaign{LineCorruptions: []LineCorruption{{At: 1, Molecule: 0, Line: -2}}},
+			"line_corruptions", 0, "line",
+		},
+		{
+			"no-op delay",
+			Campaign{NoCDelays: []NoCDelay{{At: 9, ExtraCycles: 1}, {At: 1}}},
+			"noc_delays", 1, "extra_cycles",
+		},
+		{
+			"negative drops",
+			Campaign{NoCDelays: []NoCDelay{{At: 1, ExtraCycles: 1, DropAttempts: -1}}},
+			"noc_delays", 0, "drop_attempts",
+		},
+		{
+			"empty random window",
+			Campaign{RandomMoleculeFailures: &RandomSpec{Count: 3, Start: 10, End: 10}},
+			"random_molecule_failures", -1, "end",
+		},
+		{
+			"inverted random window",
+			Campaign{RandomLineCorruptions: &RandomSpec{Count: 3, Start: 20, End: 10}},
+			"random_line_corruptions", -1, "end",
+		},
+		{
+			"negative random count",
+			Campaign{RandomLineCorruptions: &RandomSpec{Count: -1, Start: 0, End: 10}},
+			"random_line_corruptions", -1, "count",
+		},
 	}
 	for _, tc := range cases {
-		if err := tc.c.Validate(); err == nil {
-			t.Errorf("%s: validated", tc.name)
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if err == nil {
+				t.Fatal("validated")
+			}
+			ve, ok := err.(*ValidationError)
+			if !ok {
+				t.Fatalf("error is %T, want *ValidationError: %v", err, err)
+			}
+			if ve.Section != tc.section || ve.Index != tc.index || ve.Field != tc.field {
+				t.Errorf("error locates %s[%d].%s, want %s[%d].%s",
+					ve.Section, ve.Index, ve.Field, tc.section, tc.index, tc.field)
+			}
+			if ve.Reason == "" {
+				t.Error("empty reason")
+			}
+			for _, part := range []string{tc.section, tc.field} {
+				if !strings.Contains(err.Error(), part) {
+					t.Errorf("message %q does not name %q", err.Error(), part)
+				}
+			}
+		})
+	}
+}
+
+func TestParseSurfacesValidationContext(t *testing.T) {
+	// A structurally valid JSON campaign with a semantically bad entry
+	// must come back as a ValidationError, not a bare decode error.
+	_, err := Parse([]byte(`{"noc_delays": [{"at": 10, "extra_cycles": 1}, {"at": 20}]}`))
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("Parse error is %T (%v), want *ValidationError", err, err)
+	}
+	if ve.Section != "noc_delays" || ve.Index != 1 {
+		t.Errorf("error locates %s[%d], want noc_delays[1]", ve.Section, ve.Index)
+	}
+}
+
+func TestCursorStateRoundTrip(t *testing.T) {
+	c := Campaign{
+		Seed:                   21,
+		RandomMoleculeFailures: &RandomSpec{Count: 4, Start: 10, End: 90},
+		RandomLineCorruptions:  &RandomSpec{Count: 9, Start: 5, End: 95},
+		NoCDelays:              []NoCDelay{{At: 40, Duration: 10, ExtraCycles: 2}},
+	}
+	build := func() *Injector {
+		inj, err := NewInjector(c)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if err := inj.Materialize(16, 32); err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	// Drive one injector halfway, capture, rebuild a fresh one from the
+	// campaign, restore, and check the remaining deliveries agree.
+	a := build()
+	a.FailuresDue(50)
+	a.CorruptionsDue(50)
+	a.NoCDelayAt(45)
+	cs := a.CursorState()
+
+	b := build()
+	if err := b.RestoreCursors(cs); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats() != a.Stats() || b.PendingFailures() != a.PendingFailures() {
+		t.Errorf("restored stats %+v pending %d, want %+v pending %d",
+			b.Stats(), b.PendingFailures(), a.Stats(), a.PendingFailures())
+	}
+	if got, want := b.FailuresDue(1000), a.FailuresDue(1000); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-restore failures %v, want %v", got, want)
+	}
+	if got, want := b.CorruptionsDue(1000), a.CorruptionsDue(1000); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-restore corruptions %v, want %v", got, want)
+	}
+
+	// Restore must reject cursors outside the materialized schedules and
+	// refuse to run before Materialize.
+	if err := b.RestoreCursors(CursorState{FailCursor: 1000}); err == nil {
+		t.Error("out-of-range failure cursor accepted")
+	}
+	if err := b.RestoreCursors(CursorState{CorruptCursor: -1}); err == nil {
+		t.Error("negative corruption cursor accepted")
+	}
+	raw, err := NewInjector(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.RestoreCursors(cs); err == nil {
+		t.Error("restore before Materialize accepted")
 	}
 }
 

@@ -115,6 +115,11 @@ func (c *Cache) AttachTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
 // Tracer returns the attached tracer (nil when tracing is off).
 func (c *Cache) Tracer() *telemetry.Tracer { return c.tracer }
 
+// Registry returns the attached metrics registry (nil when metrics are
+// off). Checkpointing reads it to fold the live counters into the
+// snapshot alongside the cache state.
+func (c *Cache) Registry() *telemetry.Registry { return c.reg }
+
 // registerRegionGauges exports one region's miss rate, size and service-
 // time distribution — the paper's per-ASID quantities that Algorithm 1
 // steers by, plus the latency distribution Com-CAS-style apportioning

@@ -151,6 +151,24 @@ func (m *Mesh) Stats() Stats {
 	return Stats{Messages: m.msgs, Hops: m.hops, LocalMessages: m.local}
 }
 
+// RestoreStats overwrites the traffic counters with a previously
+// captured Stats (checkpoint restore). It rejects internally
+// inconsistent counters so a corrupted snapshot cannot smuggle in a
+// mesh that reports more local messages than messages.
+func (m *Mesh) RestoreStats(s Stats) error {
+	if s.LocalMessages > s.Messages {
+		return fmt.Errorf("noc: %d local messages exceed %d total", s.LocalMessages, s.Messages)
+	}
+	m.msgs = s.Messages
+	m.hops = s.Hops
+	m.local = s.LocalMessages
+	return nil
+}
+
+// Width and Height expose the grid dimensions (checkpoint geometry).
+func (m *Mesh) Width() int  { return m.w }
+func (m *Mesh) Height() int { return m.h }
+
 // AverageHops returns mean hops per message.
 func (m *Mesh) AverageHops() float64 {
 	if m.msgs == 0 {

@@ -210,6 +210,66 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+func TestHealthzEndpoint(t *testing.T) {
+	c, ctrl, reg := simWorld(t)
+	pub := obs.NewPublisher()
+	tap := obs.NewEventTap(nil)
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{Publisher: pub, Registry: reg, Tap: tap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	type health struct {
+		Status           string  `json:"status"`
+		LastPublish      string  `json:"last_publish"`
+		SnapshotAge      float64 `json:"snapshot_age_seconds"`
+		SnapshotAtAccess uint64  `json:"snapshot_at_access"`
+		EventsWritten    uint64  `json:"events_written"`
+		EventsDropped    uint64  `json:"events_dropped"`
+	}
+
+	// Before the first publish: reachable, but explicit about having no
+	// snapshot (age -1, no timestamp).
+	code, body := get(t, srv.URL()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var h health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "no-snapshot" || h.SnapshotAge != -1 || h.LastPublish != "" {
+		t.Fatalf("pre-publish health wrong: %+v", h)
+	}
+
+	// After a publish: ok, a fresh age, the snapshot's access count and
+	// a parseable publish time.
+	pub.Publish(obs.Collect(c, ctrl, reg))
+	if err := tap.Write(telemetry.Event{Kind: telemetry.KindAccess}); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, srv.URL()+"/healthz")
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("post-publish status %q, want ok", h.Status)
+	}
+	if h.SnapshotAge < 0 || h.SnapshotAge > 60 {
+		t.Fatalf("snapshot age %.3fs implausible", h.SnapshotAge)
+	}
+	if h.SnapshotAtAccess != 6000 {
+		t.Fatalf("snapshot_at_access = %d, want 6000", h.SnapshotAtAccess)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, h.LastPublish); err != nil {
+		t.Fatalf("last_publish %q does not parse: %v", h.LastPublish, err)
+	}
+	if h.EventsWritten != 1 || h.EventsDropped != 0 {
+		t.Fatalf("event tap counts wrong: %+v", h)
+	}
+}
+
 func TestServerBeforeFirstPublishFallsBack(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	reg.Counter("molcache_test_total").Add(3)

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"molcache/internal/resize"
 	"molcache/internal/telemetry"
@@ -32,10 +33,12 @@ type Options struct {
 //	GET /regions     live region topology (JSON)
 //	GET /decisions   resize decision log (JSON)
 //	GET /events      Server-Sent Events stream of telemetry events
+//	GET /healthz     liveness: snapshot age, event-tap drops (JSON)
 //	GET /debug/pprof the standard Go profiling endpoints
 func NewMux(opts Options) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", indexHandler)
+	mux.HandleFunc("/healthz", healthzHandler(opts))
 	mux.HandleFunc("/metrics", metricsHandler(opts))
 	mux.HandleFunc("/regions", regionsHandler(opts))
 	mux.HandleFunc("/decisions", decisionsHandler(opts))
@@ -60,8 +63,42 @@ func indexHandler(w http.ResponseWriter, r *http.Request) {
   /regions      per-ASID region topology, occupancy, miss rate vs goal (JSON)
   /decisions    resize controller decision log (JSON)
   /events       live telemetry event stream (Server-Sent Events)
+  /healthz      liveness and staleness: snapshot age, event-tap drops (JSON)
   /debug/pprof  Go runtime profiles
 `)
+}
+
+// healthzHandler reports the observability plane's own health: whether
+// a state has been published, how stale it is, and whether the event
+// tap is shedding load. It reads only atomics and the published
+// pointer, so it is safe from any goroutine.
+func healthzHandler(opts Options) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		resp := struct {
+			Status           string  `json:"status"`
+			LastPublish      string  `json:"last_publish,omitempty"`
+			SnapshotAge      float64 `json:"snapshot_age_seconds"`
+			SnapshotAtAccess uint64  `json:"snapshot_at_access"`
+			EventsWritten    uint64  `json:"events_written"`
+			EventsDropped    uint64  `json:"events_dropped"`
+			EventSubscribers int     `json:"event_subscribers"`
+		}{Status: "ok", SnapshotAge: -1}
+		if st := opts.Publisher.Latest(); st != nil {
+			resp.SnapshotAtAccess = st.At
+		} else {
+			resp.Status = "no-snapshot"
+		}
+		if t := opts.Publisher.LastPublish(); !t.IsZero() {
+			resp.LastPublish = t.UTC().Format(time.RFC3339Nano)
+			resp.SnapshotAge = time.Since(t).Seconds()
+		}
+		if opts.Tap != nil {
+			resp.EventsWritten = opts.Tap.Written()
+			resp.EventsDropped = opts.Tap.Dropped()
+			resp.EventSubscribers = opts.Tap.Subscribers()
+		}
+		writeJSON(w, resp)
+	}
 }
 
 func metricsHandler(opts Options) http.HandlerFunc {

@@ -17,6 +17,7 @@ package obs
 
 import (
 	"sync/atomic"
+	"time"
 
 	"molcache/internal/molecular"
 	"molcache/internal/resize"
@@ -77,6 +78,10 @@ type State struct {
 // *Publisher is valid and always Latest()s nil.
 type Publisher struct {
 	cur atomic.Pointer[State]
+	// lastPub is the wall-clock time of the last Publish in Unix
+	// nanoseconds (0 before the first). /healthz reports it as the
+	// snapshot age; the deterministic simulation never reads it.
+	lastPub atomic.Int64
 }
 
 // NewPublisher returns an empty publisher.
@@ -89,6 +94,20 @@ func (p *Publisher) Publish(s *State) {
 		return
 	}
 	p.cur.Store(s)
+	p.lastPub.Store(time.Now().UnixNano())
+}
+
+// LastPublish returns when Publish last ran (the zero time before the
+// first publish, or on a nil publisher).
+func (p *Publisher) LastPublish() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	n := p.lastPub.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
 }
 
 // Latest returns the most recently published state (nil before the

@@ -9,6 +9,8 @@
 // use math/rand so that streams are stable across Go releases.
 package rng
 
+import "fmt"
+
 // SplitMix64 is the seeding generator recommended by the xoshiro authors.
 // It is also useful on its own as a cheap hash-like sequence.
 type SplitMix64 struct {
@@ -59,6 +61,22 @@ func New(seed uint64) *Source {
 		src.s[0] = 0x9e3779b97f4a7c15
 	}
 	return &src
+}
+
+// State returns the generator's internal 256-bit state, for
+// checkpointing. Feeding it back through SetState yields a Source that
+// continues the exact draw sequence.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator state with a previously captured
+// State. It rejects the all-zero state (xoshiro's single invalid fixed
+// point) so a corrupted checkpoint cannot wedge the stream.
+func (r *Source) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("rng: all-zero xoshiro256** state is invalid")
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode throws arbitrary bytes — seeded with valid MOLC1
+// containers and targeted mutations of them — at the decoder. The
+// properties under test: Decode never panics, never over-allocates on a
+// hostile count field, and anything it accepts survives a re-encode /
+// re-decode round trip unchanged.
+func FuzzSnapshotDecode(f *testing.F) {
+	seedSets := [][]Section{
+		nil,
+		{{Name: "a", Payload: nil}},
+		{{Name: "config", Payload: []byte(`{"seed":7}`)},
+			{Name: "cache", Payload: bytes.Repeat([]byte{0x5A}, 200)}},
+		{{Name: "0123456789abcdef", Payload: []byte{0}}},
+	}
+	for _, sections := range seedSets {
+		data, err := Encode(sections)
+		if err != nil {
+			f.Fatalf("Encode seed: %v", err)
+		}
+		f.Add(data)
+		// Targeted mutations: header, table and payload corruption.
+		for _, idx := range []int{0, 5, 6, 8} {
+			if idx < len(data) {
+				m := append([]byte(nil), data...)
+				m[idx] ^= 0xFF
+				f.Add(m)
+			}
+		}
+		if len(data) > headerLen {
+			f.Add(data[:headerLen])
+			f.Add(data[:len(data)-1])
+			m := append([]byte(nil), data...)
+			m[len(m)-1] ^= 0x01
+			f.Add(m)
+		}
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode to something that decodes to the
+		// same sections (the container is canonical modulo padding and
+		// payload placement, which Decode normalizes away).
+		re, err := Encode(sections)
+		if err != nil {
+			t.Fatalf("accepted sections failed to re-encode: %v", err)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded container failed to decode: %v", err)
+		}
+		if len(again) != len(sections) {
+			t.Fatalf("round trip changed section count: %d -> %d", len(sections), len(again))
+		}
+		for i := range sections {
+			if again[i].Name != sections[i].Name || !bytes.Equal(again[i].Payload, sections[i].Payload) {
+				t.Fatalf("round trip changed section %d (%q)", i, sections[i].Name)
+			}
+		}
+	})
+}

@@ -108,6 +108,15 @@ func (l *Ledger) Reset() {
 	l.perApp = nil
 }
 
+// SetApp overwrites the counters for one ASID, creating the cell if
+// needed. Restore paths use it to rebuild a ledger from a checkpoint;
+// the returned pointer is the same stable cell AppRef would hand out.
+func (l *Ledger) SetApp(asid uint16, hm HitMiss) *HitMiss {
+	cell := l.AppRef(asid)
+	*cell = hm
+	return cell
+}
+
 // Window is a resettable hit/miss counter used for periodic miss-rate
 // sampling (the resize controller reads and resets one per partition and
 // one global window every resize period).
@@ -127,6 +136,10 @@ func (w *Window) Roll() HitMiss {
 	w.cur = HitMiss{}
 	return out
 }
+
+// Restore overwrites the current window with previously captured
+// counters (checkpoint restore).
+func (w *Window) Restore(hm HitMiss) { w.cur = hm }
 
 // Histogram is a fixed-bucket counter for small non-negative integers
 // (e.g. probes per access). Values beyond the last bucket land in it.

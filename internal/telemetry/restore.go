@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LoadSnapshot overwrites the registry's instruments with the values of
+// a previously exported Snapshot — the checkpoint-restore inverse of
+// Snapshot(). Instruments named in the snapshot are created if absent
+// (histograms inherit the snapshot's bucket bounds) and set if present;
+// instruments the snapshot does not mention are left untouched.
+//
+// Names registered as gauge funcs are skipped: their values are
+// recomputed from live simulation state at the next Snapshot, and the
+// exported Gauges map includes them, so loading them back would collide
+// with the func registration. Restore paths should therefore re-attach
+// instrumentation (recreating the gauge funcs) before calling
+// LoadSnapshot.
+//
+// Unlike the lookup methods, LoadSnapshot never panics on bad input —
+// snapshots may come from corrupted checkpoint files — and instead
+// returns an error naming the offending instrument. On error the
+// registry may be partially loaded; callers treating that as fatal
+// should discard the registry.
+func (r *Registry) LoadSnapshot(s Snapshot) error {
+	if r == nil {
+		return fmt.Errorf("telemetry: cannot load a snapshot into a nil registry")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, name := range sortedKeys(s.Counters) {
+		c, ok := r.counters[name]
+		if !ok {
+			if err := r.claimLocked(name, "counter"); err != nil {
+				return err
+			}
+			c = &Counter{}
+			r.counters[name] = c
+		}
+		c.v.Store(s.Counters[name])
+	}
+
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, isFn := r.gaugeFns[name]; isFn {
+			continue // recomputed from live state at the next Snapshot
+		}
+		g, ok := r.gauges[name]
+		if !ok {
+			if err := r.claimLocked(name, "gauge"); err != nil {
+				return err
+			}
+			g = &Gauge{}
+			r.gauges[name] = g
+		}
+		g.bits.Store(math.Float64bits(s.Gauges[name]))
+	}
+
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		bounds, perBucket, err := decodeHistogramSnapshot(hs)
+		if err != nil {
+			return fmt.Errorf("telemetry: histogram %q: %w", name, err)
+		}
+		h, ok := r.hists[name]
+		if !ok {
+			if err := r.claimLocked(name, "histogram"); err != nil {
+				return err
+			}
+			h = &Histogram{
+				bounds:  bounds,
+				buckets: make([]atomic.Uint64, len(bounds)+1),
+			}
+			r.hists[name] = h
+		}
+		if !boundsEqual(h.bounds, bounds) {
+			return fmt.Errorf("telemetry: histogram %q: snapshot bounds %v do not match registered bounds %v",
+				name, bounds, h.bounds)
+		}
+		for i := range h.buckets {
+			h.buckets[i].Store(perBucket[i])
+		}
+		h.count.Store(hs.Count)
+		h.sumBits.Store(math.Float64bits(hs.Sum))
+	}
+	return nil
+}
+
+// claimLocked is checkFreeLocked's non-panicking sibling, plus name
+// validation: snapshots restored from disk are untrusted input.
+func (r *Registry) claimLocked(name, as string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if _, ok := r.counters[name]; ok {
+		return fmt.Errorf("telemetry: %q already registered as counter, snapshot wants %s", name, as)
+	}
+	if _, ok := r.gauges[name]; ok {
+		return fmt.Errorf("telemetry: %q already registered as gauge, snapshot wants %s", name, as)
+	}
+	if _, ok := r.hists[name]; ok {
+		return fmt.Errorf("telemetry: %q already registered as histogram, snapshot wants %s", name, as)
+	}
+	if _, ok := r.gaugeFns[name]; ok {
+		return fmt.Errorf("telemetry: %q already registered as gauge func, snapshot wants %s", name, as)
+	}
+	return nil
+}
+
+// decodeHistogramSnapshot inverts Histogram.snapshot: it recovers the
+// bucket bounds and the per-bucket (non-cumulative) counts, validating
+// the shape a genuine snapshot always has.
+func decodeHistogramSnapshot(hs HistogramSnapshot) (bounds []float64, perBucket []uint64, err error) {
+	if len(hs.Buckets) == 0 {
+		return nil, nil, fmt.Errorf("no buckets")
+	}
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.UpperBound, +1) {
+		return nil, nil, fmt.Errorf("final bucket bound %v is not +Inf", last.UpperBound)
+	}
+	bounds = make([]float64, len(hs.Buckets)-1)
+	perBucket = make([]uint64, len(hs.Buckets))
+	var prev uint64
+	for i, b := range hs.Buckets {
+		if i < len(bounds) {
+			bounds[i] = b.UpperBound
+			if i > 0 && bounds[i] <= bounds[i-1] {
+				return nil, nil, fmt.Errorf("bounds not strictly increasing at %d: %v", i, bounds)
+			}
+		}
+		if b.Count < prev {
+			return nil, nil, fmt.Errorf("cumulative counts decrease at bucket %d (%d -> %d)", i, prev, b.Count)
+		}
+		perBucket[i] = b.Count - prev
+		prev = b.Count
+	}
+	if last.Count != hs.Count {
+		return nil, nil, fmt.Errorf("+Inf bucket count %d does not equal observation count %d", last.Count, hs.Count)
+	}
+	return bounds, perBucket, nil
+}
+
+// boundsEqual compares bucket bounds exactly (bounds are configuration,
+// not measurements, so bitwise equality is the right test).
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys returns a map's keys in sorted order so restore touches
+// instruments deterministically (and errors pick a stable culprit).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -85,4 +85,10 @@ grep -q '"reason"' "${DIR}/decisions.json" || fail "/decisions has no reasoned e
 
 fetch "${BASE}/debug/pprof/cmdline" "${DIR}/pprof.txt" || fail "GET /debug/pprof/cmdline"
 
-echo "obs-smoke: OK (/ /metrics /regions /decisions /debug/pprof all served)"
+fetch "${BASE}/healthz" "${DIR}/healthz.json" || fail "GET /healthz"
+grep -q '"status": "ok"' "${DIR}/healthz.json" || fail "/healthz not ok: $(cat "${DIR}/healthz.json")"
+grep -q '"last_publish"' "${DIR}/healthz.json" || fail "/healthz missing last publish time"
+grep -q '"snapshot_age_seconds"' "${DIR}/healthz.json" || fail "/healthz missing snapshot age"
+grep -q '"events_dropped"' "${DIR}/healthz.json" || fail "/healthz missing event-tap drop count"
+
+echo "obs-smoke: OK (/ /metrics /regions /decisions /healthz /debug/pprof all served)"

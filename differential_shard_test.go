@@ -1,0 +1,366 @@
+// Differential oracle for the sharded access engine: every
+// configuration drives two identically seeded molecular caches — one
+// through the serial per-access loop, one through internal/shard's
+// epoch-parallel AccessBatch — over the same randomized trace with
+// resize controllers, a mesh, full telemetry (event tracer, registry,
+// span tracer) and, in half the configurations, identical fault
+// campaigns. The contract under test is strict: per-access Results,
+// end-state ledgers, probe histograms, NoC statistics, degradation
+// counters, registry snapshots, the complete ordered event stream, the
+// complete span trace, resize decision logs and structural invariant
+// captures must all be byte-identical at every shard count. Any
+// divergence means epoch planning or the lane merge broke determinism.
+package molcache_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"molcache"
+
+	"molcache/internal/engine"
+	"molcache/internal/invariant"
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/rng"
+	"molcache/internal/shard"
+	"molcache/internal/telemetry"
+)
+
+// shardDiffChunk is the batch size both sides advance by between
+// coherence probes. Probes and rehomes are cross-engine mutations, so
+// the oracle only issues them at chunk boundaries, where the sharded
+// engine is quiescent — exactly the contract a real driver has.
+const shardDiffChunk = 512
+
+// shardDiffConfig is an 8-cluster geometry (16 tiles, 128 molecules) so
+// every shard count in {1, 2, 4, 8} owns at least one whole cluster.
+func shardDiffConfig(policy molecular.ReplacementKind) molecular.Config {
+	return molecular.Config{
+		TotalSize:       1 << 20,
+		MoleculeSize:    8 << 10,
+		TilesPerCluster: 2,
+		Clusters:        8,
+		Policy:          policy,
+		LineFactor:      2,
+		Seed:            2006,
+	}
+}
+
+// shardDiffSide builds one fully instrumented side: cache, shared
+// region, mesh, resize controller, event tracer with a ring large
+// enough to never rotate, registry, and span tracer on both the access
+// pipeline and the controller.
+func shardDiffSide(t *testing.T, cfg molecular.Config, withFaults bool) (*molecular.Cache, *resize.Controller, *telemetry.Tracer, *telemetry.Registry, *telemetry.SpanTracer) {
+	t.Helper()
+	c, ctrl, reg := diffCache(t, cfg, withFaults)
+	tr := telemetry.NewTracer(1 << 16)
+	c.AttachTelemetry(tr, reg)
+	spans := telemetry.NewSpanTracer(7, 0)
+	c.AttachSpans(spans)
+	ctrl.AttachSpans(spans)
+	return c, ctrl, tr, reg, spans
+}
+
+// compareShardEndState asserts every observable end-state artifact of
+// the two sides is identical.
+func compareShardEndState(t *testing.T, label string,
+	sc, hc *molecular.Cache, sCtrl, hCtrl *resize.Controller,
+	sTr, hTr *telemetry.Tracer, sReg, hReg *telemetry.Registry,
+	sSpans, hSpans *telemetry.SpanTracer) {
+	t.Helper()
+	if !reflect.DeepEqual(*sc.Ledger(), *hc.Ledger()) {
+		t.Errorf("%s: ledgers diverged: serial %+v, sharded %+v", label, *sc.Ledger(), *hc.Ledger())
+	}
+	for _, asid := range []uint16{1, 2, 3, molecular.SharedASID} {
+		if s, h := sc.Ledger().App(asid), hc.Ledger().App(asid); s != h {
+			t.Errorf("%s: asid %d ledger diverged: serial %+v, sharded %+v", label, asid, s, h)
+		}
+	}
+	if !reflect.DeepEqual(sc.ProbeHistogram(), hc.ProbeHistogram()) {
+		t.Errorf("%s: probe histograms diverged", label)
+	}
+	if s, h := sc.RemoteCycles(), hc.RemoteCycles(); s != h {
+		t.Errorf("%s: remote cycles diverged: serial %d, sharded %d", label, s, h)
+	}
+	if s, h := sc.Degradation(), hc.Degradation(); s != h {
+		t.Errorf("%s: degradation stats diverged: serial %+v, sharded %+v", label, s, h)
+	}
+	if s, h := sc.Interconnect().Stats(), hc.Interconnect().Stats(); s != h {
+		t.Errorf("%s: NoC stats diverged: serial %+v, sharded %+v", label, s, h)
+	}
+	if sc.Faults() != nil {
+		if s, h := sc.Faults().Stats(), hc.Faults().Stats(); s != h {
+			t.Errorf("%s: fault stats diverged: serial %+v, sharded %+v", label, s, h)
+		}
+	}
+	ss, hs := sReg.Snapshot(), hReg.Snapshot()
+	if !reflect.DeepEqual(ss.Counters, hs.Counters) {
+		t.Errorf("%s: telemetry counters diverged:\nserial: %v\nsharded: %v", label, ss.Counters, hs.Counters)
+	}
+	if !reflect.DeepEqual(ss.Gauges, hs.Gauges) {
+		t.Errorf("%s: telemetry gauges diverged:\nserial: %v\nsharded: %v", label, ss.Gauges, hs.Gauges)
+	}
+	if !reflect.DeepEqual(ss.Histograms, hs.Histograms) {
+		t.Errorf("%s: telemetry histograms diverged:\nserial: %v\nsharded: %v", label, ss.Histograms, hs.Histograms)
+	}
+	// The ordered event streams must match event for event, sequence
+	// numbers included — the strongest statement that the merge replays
+	// the serial emission order.
+	if s, h := sTr.Emitted(), hTr.Emitted(); s != h {
+		t.Errorf("%s: event counts diverged: serial %d, sharded %d", label, s, h)
+	}
+	if !reflect.DeepEqual(sTr.Events(), hTr.Events()) {
+		sev, hev := sTr.Events(), hTr.Events()
+		n := len(sev)
+		if len(hev) < n {
+			n = len(hev)
+		}
+		for i := 0; i < n; i++ {
+			if sev[i] != hev[i] {
+				t.Errorf("%s: event %d diverged: serial %+v, sharded %+v", label, i, sev[i], hev[i])
+				break
+			}
+		}
+		t.Errorf("%s: event streams diverged (%d serial, %d sharded)", label, len(sev), len(hev))
+	}
+	// Span traces: identical sampled-access counts, drop counts, and
+	// span-for-span equality after the batch rebase.
+	if s, h := sSpans.SampledAccesses(), hSpans.SampledAccesses(); s != h {
+		t.Errorf("%s: sampled accesses diverged: serial %d, sharded %d", label, s, h)
+	}
+	if s, h := sSpans.Drops(), hSpans.Drops(); s != h {
+		t.Errorf("%s: span drops diverged: serial %d, sharded %d", label, s, h)
+	}
+	if !reflect.DeepEqual(sSpans.Spans(), hSpans.Spans()) {
+		sv, hv := sSpans.Spans(), hSpans.Spans()
+		n := len(sv)
+		if len(hv) < n {
+			n = len(hv)
+		}
+		for i := 0; i < n; i++ {
+			if sv[i] != hv[i] {
+				t.Errorf("%s: span %d diverged: serial %+v, sharded %+v", label, i, sv[i], hv[i])
+				break
+			}
+		}
+		t.Errorf("%s: span traces diverged (%d serial, %d sharded)", label, len(sv), len(hv))
+	}
+	if sSpans.Len() == 0 {
+		t.Errorf("%s: span tracer recorded nothing", label)
+	}
+	if !reflect.DeepEqual(sCtrl.Decisions(), hCtrl.Decisions()) {
+		t.Errorf("%s: decision logs diverged:\nserial: %+v\nsharded: %+v", label, sCtrl.Decisions(), hCtrl.Decisions())
+	}
+	scap, hcap := invariant.CaptureCache(sc), invariant.CaptureCache(hc)
+	if !reflect.DeepEqual(scap, hcap) {
+		t.Errorf("%s: invariant captures diverged", label)
+	}
+	if vs := invariant.Check(hcap); len(vs) != 0 {
+		t.Errorf("%s: sharded capture has violations: %v", label, vs)
+	}
+}
+
+// TestDifferentialSerialVsSharded is the serial-vs-sharded oracle lock:
+// every replacement policy × shard count {1, 2, 4, 8} × fault toggle,
+// 12k accesses each, zero tolerated divergence anywhere observable.
+func TestDifferentialSerialVsSharded(t *testing.T) {
+	policies := []molecular.ReplacementKind{
+		molecular.RandomReplacement, molecular.RandyReplacement, molecular.LRUDirect,
+	}
+	for _, policy := range policies {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, withFaults := range []bool{false, true} {
+				name := fmt.Sprintf("%s/shards=%d/faults=%v", policy, shards, withFaults)
+				policy, shards, withFaults := policy, shards, withFaults
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					cfg := shardDiffConfig(policy)
+					sc, sCtrl, sTr, sReg, sSpans := shardDiffSide(t, cfg, withFaults)
+					hc, hCtrl, hTr, hReg, hSpans := shardDiffSide(t, cfg, withFaults)
+					eng := shard.New(hc, hCtrl, shards)
+					if eng.Shards() != shards {
+						t.Fatalf("shard count clamped: want %d, got %d", shards, eng.Shards())
+					}
+
+					refs := diffTrace(7 + uint64(shards))
+					probe := rng.New(99)
+					for base := 0; base < len(refs); base += shardDiffChunk {
+						end := base + shardDiffChunk
+						if end > len(refs) {
+							end = len(refs)
+						}
+						chunk := refs[base:end]
+						// Serial side: the reference per-access loop.
+						serialRes := make([]engine.Result, len(chunk))
+						for i, r := range chunk {
+							serialRes[i] = sc.Access(r)
+							sCtrl.Tick()
+						}
+						// Sharded side: one epoch-parallel batch.
+						shardedRes := eng.AccessBatch(chunk)
+						for i := range chunk {
+							if serialRes[i] != shardedRes[i] {
+								t.Fatalf("access %d (%v): serial %+v != sharded %+v",
+									base+i, chunk[i], serialRes[i], shardedRes[i])
+							}
+						}
+						// Chunk-boundary cross-engine traffic: coherence
+						// probes, invalidations, and a rehome, applied to
+						// both sides identically.
+						a := uint64(1+probe.Intn(3))<<32 | uint64(probe.Intn(1024))*64
+						if s, h := sc.Contains(a), hc.Contains(a); s != h {
+							t.Fatalf("chunk %d: Contains(%#x) serial %v != sharded %v", base, a, s, h)
+						}
+						if (base/shardDiffChunk)%3 == 1 {
+							addr := refs[probe.Intn(end)].Addr
+							sp, sd := sc.Invalidate(addr)
+							hp, hd := hc.Invalidate(addr)
+							if sp != hp || sd != hd {
+								t.Fatalf("chunk %d: Invalidate(%#x) serial (%v,%v) != sharded (%v,%v)",
+									base, addr, sp, sd, hp, hd)
+							}
+						}
+						if base > 0 && (base/shardDiffChunk)%8 == 0 {
+							tile := (base / shardDiffChunk / 8) % cfg.TilesPerCluster
+							if err := sc.Rehome(1, tile); err != nil {
+								t.Fatal(err)
+							}
+							if err := hc.Rehome(1, tile); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					compareShardEndState(t, name, sc, hc, sCtrl, hCtrl, sTr, hTr, sReg, hReg, sSpans, hSpans)
+				})
+			}
+		}
+	}
+}
+
+// TestShardedCheckpointRestoreCompatibility is the checkpoint leg: a
+// MOLC1 snapshot taken mid-trace under the *sharded* engine must
+// restore into either engine, and both continuations — plus an
+// uninterrupted serial run — must stay byte-identical to the end.
+func TestShardedCheckpointRestoreCompatibility(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		withFaults := withFaults
+		t.Run(fmt.Sprintf("faults=%v", withFaults), func(t *testing.T) {
+			t.Parallel()
+			cfg := shardDiffConfig(molecular.RandyReplacement)
+			// Side A: uninterrupted serial run. Side B: sharded run
+			// checkpointed at the cut and abandoned.
+			aCache, aCtrl, aReg := diffCache(t, cfg, withFaults)
+			bCache, bCtrl, bReg := diffCache(t, cfg, withFaults)
+			aCtrl.AttachTelemetry(nil, aReg)
+			bCtrl.AttachTelemetry(nil, bReg)
+			a := &molcache.Simulator{Cache: aCache, Controller: aCtrl}
+			b := &molcache.Simulator{Cache: bCache, Controller: bCtrl}
+			bEng := shard.New(bCache, bCtrl, 4)
+
+			refs := diffTrace(77)
+			cut := (len(refs) / 2 / shardDiffChunk) * shardDiffChunk
+			for base := 0; base < cut; base += shardDiffChunk {
+				chunk := refs[base:minInt(base+shardDiffChunk, cut)]
+				serialRes := make([]engine.Result, len(chunk))
+				for i, r := range chunk {
+					serialRes[i] = a.Access(r)
+				}
+				shardedRes := bEng.AccessBatch(chunk)
+				for i := range chunk {
+					if serialRes[i] != shardedRes[i] {
+						t.Fatalf("pre-cut access %d: serial %+v != sharded %+v", base+i, serialRes[i], shardedRes[i])
+					}
+				}
+			}
+			data, err := b.EncodeCheckpoint()
+			if err != nil {
+				t.Fatalf("EncodeCheckpoint: %v", err)
+			}
+
+			// Restore the sharded-engine snapshot twice: C continues
+			// serially, D continues sharded (at a different shard count
+			// than produced it, which must not matter).
+			cReg := telemetry.NewRegistry()
+			c, err := molcache.RestoreSimulatorBytes(data, nil, cReg)
+			if err != nil {
+				t.Fatalf("RestoreSimulatorBytes (serial continuation): %v", err)
+			}
+			dReg := telemetry.NewRegistry()
+			d, err := molcache.RestoreSimulatorBytes(data, nil, dReg)
+			if err != nil {
+				t.Fatalf("RestoreSimulatorBytes (sharded continuation): %v", err)
+			}
+			dEng := shard.New(d.Cache, d.Controller, 2)
+			if bc, cc := invariant.CaptureCache(b.Cache), invariant.CaptureCache(c.Cache); !reflect.DeepEqual(bc, cc) {
+				t.Fatal("restored capture differs from checkpointed capture")
+			}
+
+			for base := cut; base < len(refs); base += shardDiffChunk {
+				chunk := refs[base:minInt(base+shardDiffChunk, len(refs))]
+				aRes := make([]engine.Result, len(chunk))
+				for i, r := range chunk {
+					aRes[i] = a.Access(r)
+					if rc := c.Access(r); aRes[i] != rc {
+						t.Fatalf("post-restore access %d: uninterrupted %+v != serial continuation %+v",
+							base+i, aRes[i], rc)
+					}
+				}
+				dRes := dEng.AccessBatch(chunk)
+				for i := range chunk {
+					if aRes[i] != dRes[i] {
+						t.Fatalf("post-restore access %d: uninterrupted %+v != sharded continuation %+v",
+							base+i, aRes[i], dRes[i])
+					}
+				}
+			}
+
+			// Both continuations must land on the uninterrupted run's
+			// exact end state.
+			for _, side := range []struct {
+				name string
+				sim  *molcache.Simulator
+				reg  *telemetry.Registry
+			}{{"serial continuation", c, cReg}, {"sharded continuation", d, dReg}} {
+				if !reflect.DeepEqual(*a.Cache.Ledger(), *side.sim.Cache.Ledger()) {
+					t.Errorf("%s: ledgers diverged: %+v vs %+v", side.name, *a.Cache.Ledger(), *side.sim.Cache.Ledger())
+				}
+				if !reflect.DeepEqual(a.Cache.ProbeHistogram(), side.sim.Cache.ProbeHistogram()) {
+					t.Errorf("%s: probe histograms diverged", side.name)
+				}
+				if x, y := a.Cache.RemoteCycles(), side.sim.Cache.RemoteCycles(); x != y {
+					t.Errorf("%s: remote cycles diverged: %d vs %d", side.name, x, y)
+				}
+				if x, y := a.Cache.Degradation(), side.sim.Cache.Degradation(); x != y {
+					t.Errorf("%s: degradation stats diverged: %+v vs %+v", side.name, x, y)
+				}
+				as, os := aReg.Snapshot(), side.reg.Snapshot()
+				if !reflect.DeepEqual(as.Counters, os.Counters) {
+					t.Errorf("%s: telemetry counters diverged:\nuninterrupted: %v\ncontinued: %v",
+						side.name, as.Counters, os.Counters)
+				}
+				if !reflect.DeepEqual(as.Histograms, os.Histograms) {
+					t.Errorf("%s: telemetry histograms diverged", side.name)
+				}
+				if !reflect.DeepEqual(a.Controller.Decisions(), side.sim.Controller.Decisions()) {
+					t.Errorf("%s: decision logs diverged", side.name)
+				}
+				acap, ocap := invariant.CaptureCache(a.Cache), invariant.CaptureCache(side.sim.Cache)
+				if !reflect.DeepEqual(acap, ocap) {
+					t.Errorf("%s: invariant captures diverged", side.name)
+				}
+				if vs := invariant.Check(ocap); len(vs) != 0 {
+					t.Errorf("%s: capture has violations: %v", side.name, vs)
+				}
+			}
+		})
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

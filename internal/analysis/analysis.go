@@ -86,6 +86,7 @@ func DefaultConfig() Config {
 			"internal/noc",
 			"internal/faults",
 			"internal/runner",
+			"internal/shard",
 		},
 		MapOrderExtra: []string{
 			"internal/telemetry",
@@ -97,6 +98,11 @@ func DefaultConfig() Config {
 			// broadcast next to the single-threaded simulation; its
 			// handlers only ever read published immutable snapshots.
 			"internal/obs",
+			// The sharded access engine owns the epoch worker
+			// goroutines; internal/molecular itself stays goroutine-free
+			// and exposes only the passive ShardLane protocol, so the
+			// untracked-execution-stream argument holds everywhere else.
+			"internal/shard",
 		},
 	}
 }

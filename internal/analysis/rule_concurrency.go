@@ -6,11 +6,14 @@ import (
 )
 
 // concurrencyRule confines goroutines and channels to the packages that
-// own scheduling (internal/runner) and observability (internal/
-// telemetry). Everything else in the simulation stack is
-// single-threaded by construction — that is what makes `-jobs N` safe:
-// jobs share no mutable state, and a `go` statement anywhere else would
-// be an untracked execution stream the determinism contract cannot see.
+// own scheduling (internal/runner), observability (internal/telemetry,
+// internal/obs) and the epoch-parallel access engine (internal/shard).
+// Everything else in the simulation stack is single-threaded by
+// construction — that is what makes `-jobs N` and sharded replay safe:
+// jobs share no mutable state, shard workers only touch cluster-
+// confined state behind the ShardLane protocol, and a `go` statement
+// anywhere else would be an untracked execution stream the determinism
+// contract cannot see.
 type concurrencyRule struct{}
 
 func init() { Register(concurrencyRule{}) }
@@ -18,7 +21,7 @@ func init() { Register(concurrencyRule{}) }
 func (concurrencyRule) Name() string { return "concurrency" }
 
 func (concurrencyRule) Doc() string {
-	return "go statements and channel creation only in internal/runner and internal/telemetry"
+	return "go statements and channel creation only in the concurrency-owning packages (runner, telemetry, obs, shard)"
 }
 
 func (r concurrencyRule) Check(cfg Config, pkg *Package) []Diagnostic {

@@ -1,0 +1,65 @@
+// Package shard is a molvet fixture seeded with the failure shapes the
+// epoch-parallel engine makes tempting: timing an epoch with time.Since
+// (one determinism finding — internal/shard is a simulation package, so
+// its output feeds goldens), reading a worker count from the
+// environment (a second), and publishing a shard partition by walking a
+// map (one map-order finding). Its import path ends in internal/shard,
+// so the suffix-matched scoping treats it exactly like the real package
+// — which also means the goroutine fan-out and the channel below must
+// NOT be diagnosed: internal/shard is on the concurrency allow-list.
+// The golden test pins every expected diagnostic; edits here must be
+// mirrored in testdata/shard.golden.
+package shard
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// TimedEpoch stamps wall-clock duration into a simulation result
+// (determinism): epoch timing belongs to the benchmark harness, not the
+// engine.
+func TimedEpoch(run func()) time.Duration {
+	start := time.Now()
+	run()
+	return time.Since(start)
+}
+
+// WorkersFromEnv sizes the fan-out from the environment (determinism):
+// shard counts are configuration, passed explicitly.
+func WorkersFromEnv() string {
+	return os.Getenv("MOLC_SHARDS")
+}
+
+// PartitionOrder leaks the runtime's random map walk into the published
+// shard order (map-order).
+func PartitionOrder(owners map[int]int) []int {
+	var out []int
+	for cl := range owners {
+		out = append(out, cl)
+	}
+	return out
+}
+
+// FanOut is the sanctioned pattern — a goroutine per shard joined with
+// a WaitGroup and a channel collecting results — and must produce no
+// concurrency diagnostics: internal/shard owns the epoch workers.
+func FanOut(work []func() int) []int {
+	results := make(chan int, len(work))
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(w func() int) {
+			defer wg.Done()
+			results <- w()
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	out := make([]int, 0, len(work))
+	for r := range results {
+		out = append(out, r)
+	}
+	return out
+}

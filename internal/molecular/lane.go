@@ -1,0 +1,308 @@
+package molecular
+
+// Shard lanes: the molecular cache's concurrent execution streams.
+//
+// The paper's organization is tile-local — a region's molecules all live
+// in its home cluster, Ulmo sweeps never leave the cluster, and the
+// shared region only answers probes from its own cluster — so accesses
+// whose regions are homed in different clusters touch disjoint mutable
+// state. A ShardLane exploits that: it runs the ordinary access pipeline
+// (cache.go) against a fixed subset of clusters, writing every
+// cache-wide accumulator into lane-local deltas instead. At an epoch
+// boundary MergeLanes folds the deltas back — sums for the commutative
+// counters, an At-ordered merge for telemetry events and span batches —
+// reproducing byte for byte the state a serial run of the same accesses
+// would have left.
+//
+// This package stays goroutine-free (the molvet concurrency rule
+// confines go statements and channels to internal/shard, which owns the
+// workers and epoch planning); lanes are passive state machines that a
+// caller may drive from any single goroutine at a time.
+
+import (
+	"molcache/internal/engine"
+	"molcache/internal/noc"
+	"molcache/internal/stats"
+	"molcache/internal/telemetry"
+	"molcache/internal/trace"
+)
+
+// accessLane carries the per-stream mutable state the access pipeline
+// threads through itself. The serial lane's destination pointers alias
+// the cache's own accumulators (initSerialLane), so serial accesses
+// write straight through with no extra bookkeeping; shard lanes point
+// the same fields at ShardLane-owned deltas.
+type accessLane struct {
+	// shard marks a concurrent lane: events buffer instead of emitting,
+	// fault windows are looked up without injector mutation, and an
+	// unadmitted ASID is a planner bug rather than an auto-admit.
+	shard bool
+	// seq is the cache-wide access count of the access in flight and
+	// clock the logical replacement clock (they advance in lockstep;
+	// clock keeps a constant skew from seq across checkpoint restores).
+	seq   uint64
+	clock uint64
+
+	// lastRegion memoizes the region of the lane's most recent access:
+	// traces are bursty per application and regions are never deleted,
+	// so a single ASID comparison replaces the map lookup on nearly
+	// every access.
+	lastRegion *Region
+
+	// remote accumulates the NoC cycles charged by the access in flight;
+	// finish folds it into sinkRemote (the cache's RemoteCycles for the
+	// serial lane, an epoch delta for shard lanes).
+	remote     uint64
+	sinkRemote *uint64
+
+	// Destination accumulators (cache-owned for the serial lane,
+	// ShardLane-owned deltas otherwise).
+	ledgerTotal *stats.HitMiss
+	global      *stats.Window
+	probes      *stats.Histogram
+	deg         *DegradationStats
+
+	// nocStats, when non-nil, receives mesh traffic counters instead of
+	// the mesh itself (TraverseInto); delayed counts NoC delay-window
+	// lookups a shard lane observed.
+	nocStats *noc.Stats
+	delayed  uint64
+
+	// events buffers telemetry events on shard lanes (emitLane).
+	events []telemetry.Event
+
+	// spans is the lane's span tracer: the master tracer for the serial
+	// lane, a lane-local batch recorder for shard lanes.
+	spans *telemetry.SpanTracer
+}
+
+// initSerialLane points the serial lane's destinations at the cache's
+// own accumulators. Field addresses are stable for the cache's lifetime
+// (snapshot restore mutates them in place), so this runs once in New.
+func (c *Cache) initSerialLane() {
+	c.lane = accessLane{
+		sinkRemote:  &c.remoteCycles,
+		ledgerTotal: &c.ledger.Total,
+		global:      &c.global,
+		probes:      c.probes,
+		deg:         &c.deg,
+	}
+}
+
+// emitLane routes one telemetry event: straight to the tracer on the
+// serial lane (Emit stamps the sequence number), into the lane buffer on
+// shard lanes so MergeLanes can re-emit all lanes' events in At order —
+// the exact order the serial tracer would have stamped them.
+func (c *Cache) emitLane(ln *accessLane, ev telemetry.Event) {
+	if c.tracer == nil {
+		return
+	}
+	if ln.shard {
+		ln.events = append(ln.events, ev)
+		return
+	}
+	c.tracer.Emit(ev)
+}
+
+// laneTraverse accounts one mesh traversal on the lane and returns the
+// base latency charged (0 with no mesh attached).
+func (c *Cache) laneTraverse(ln *accessLane, from, to int) uint64 {
+	if c.mesh == nil {
+		return 0
+	}
+	var lat uint64
+	var err error
+	if ln.nocStats != nil {
+		lat, err = c.mesh.TraverseInto(ln.nocStats, from, to)
+	} else {
+		lat, err = c.mesh.Traverse(from, to)
+	}
+	if err != nil {
+		return 0
+	}
+	ln.remote += lat
+	return lat
+}
+
+// AccessBatch implements engine.Batcher as the serial fold over Access —
+// the semantics sharded execution must reproduce, and the baseline the
+// shard benchmarks compare against. The sharded counterpart lives in
+// internal/shard, which owns goroutines this package is not allowed.
+func (c *Cache) AccessBatch(refs []trace.Ref) []engine.Result {
+	out := make([]engine.Result, len(refs))
+	for i, ref := range refs {
+		out[i] = c.Access(ref)
+	}
+	return out
+}
+
+var _ engine.Batcher = (*Cache)(nil)
+
+// ShardLane is one concurrent execution stream over the cache. The
+// caller (internal/shard) must guarantee that, within an epoch, every
+// access it feeds a lane has its region homed in a cluster owned by
+// that lane and that no two lanes share a cluster; under that contract
+// lanes only read shared cache state and all their writes are either
+// cluster-confined, atomic registry cells, or lane-local deltas.
+type ShardLane struct {
+	c    *Cache
+	lane accessLane
+	skew uint64 // clock - addresses at lane creation
+
+	// Lane-owned delta accumulators the lane's destination pointers
+	// target; MergeLanes folds and resets them.
+	remoteTotal uint64
+	ledgerTotal stats.HitMiss
+	global      stats.Window
+	probesDelta *stats.Histogram
+	deg         DegradationStats
+	noc         noc.Stats
+}
+
+// NewShardLane builds a lane whose accumulators are all lane-local.
+func (c *Cache) NewShardLane() *ShardLane {
+	sl := &ShardLane{c: c, skew: c.clock - c.addresses}
+	sl.probesDelta = stats.NewHistogram(len(c.probes.Buckets))
+	sl.lane = accessLane{
+		shard:       true,
+		sinkRemote:  &sl.remoteTotal,
+		ledgerTotal: &sl.ledgerTotal,
+		global:      &sl.global,
+		probes:      sl.probesDelta,
+		deg:         &sl.deg,
+		nocStats:    &sl.noc,
+	}
+	return sl
+}
+
+// Access runs one access on the lane. seq is the access's cache-wide
+// access count, assigned by the epoch planner; within a lane, calls
+// must arrive in increasing seq order (the order the serial engine
+// would have run them).
+func (sl *ShardLane) Access(seq uint64, ref trace.Ref) engine.Result {
+	c := sl.c
+	ln := &sl.lane
+	ln.seq = seq
+	ln.clock = seq + sl.skew
+	ln.remote = 0
+	if st := c.spans; st != nil {
+		if ln.spans == nil {
+			ln.spans = telemetry.NewSpanBatchRecorder(st.Every())
+		}
+		if ln.spans.StartAccess(seq, ref.ASID) {
+			ln.spans.Begin("molcache_access")
+			res := c.pipeline(ln, ref)
+			ln.spans.EndValue(int64(res.TagProbes))
+			ln.spans.FinishAccess()
+			return res
+		}
+	}
+	return c.pipeline(ln, ref)
+}
+
+// MergeLanes folds every lane's epoch deltas back into the cache and
+// advances the logical clocks to endSeq (the last access count of the
+// epoch). Counter deltas are commutative sums; telemetry events and
+// span batches are merged across lanes in At order — access counts are
+// unique per access, and each lane's buffer is already At-sorted, so
+// the merged stream is exactly the serial emission order. Must be
+// called from the coordinating goroutine, after every lane's worker
+// has finished the epoch.
+func (c *Cache) MergeLanes(endSeq uint64, lanes []*ShardLane) {
+	for _, sl := range lanes {
+		c.ledger.Total.Add(sl.ledgerTotal)
+		sl.ledgerTotal = stats.HitMiss{}
+		c.global.Add(sl.global.Roll())
+		c.probes.Merge(sl.probesDelta)
+		sl.probesDelta.Reset()
+		c.remoteCycles += sl.remoteTotal
+		sl.remoteTotal = 0
+		c.deg.add(sl.deg)
+		sl.deg = DegradationStats{}
+		if c.mesh != nil {
+			c.mesh.Add(sl.noc)
+		}
+		sl.noc = noc.Stats{}
+		if c.faults != nil {
+			c.faults.AddDelayedLookups(sl.lane.delayed)
+		}
+		sl.lane.delayed = 0
+	}
+	c.mergeLaneEvents(lanes)
+	c.mergeLaneSpans(lanes)
+	c.clock = endSeq + (c.clock - c.addresses)
+	c.addresses = endSeq
+}
+
+// mergeLaneEvents re-emits all lanes' buffered telemetry events through
+// the master tracer in At order, so Emit stamps the same sequence
+// numbers a serial run would have.
+func (c *Cache) mergeLaneEvents(lanes []*ShardLane) {
+	for {
+		best := -1
+		var bestAt uint64
+		for i, sl := range lanes {
+			evs := sl.lane.events
+			if len(evs) == 0 {
+				continue
+			}
+			if at := evs[0].At; best < 0 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ln := &lanes[best].lane
+		c.tracer.Emit(ln.events[0])
+		ln.events = ln.events[1:]
+	}
+	for _, sl := range lanes {
+		sl.lane.events = sl.lane.events[:0]
+	}
+}
+
+// mergeLaneSpans drains every lane's span batches and appends them to
+// the master tracer in At order, rebasing lane-local logical time onto
+// the master clock (telemetry.SpanTracer.AppendBatch).
+func (c *Cache) mergeLaneSpans(lanes []*ShardLane) {
+	if c.spans == nil {
+		return
+	}
+	var all [][]telemetry.SpanBatch
+	for _, sl := range lanes {
+		if bs := sl.lane.spans.DrainBatches(); len(bs) > 0 {
+			all = append(all, bs)
+		}
+	}
+	heads := make([]int, len(all))
+	for {
+		best := -1
+		var bestAt uint64
+		for i, bs := range all {
+			if heads[i] >= len(bs) {
+				continue
+			}
+			if at := bs[heads[i]].At; best < 0 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c.spans.AppendBatch(all[best][heads[best]])
+		heads[best]++
+	}
+}
+
+// add folds another DegradationStats in (epoch merge).
+func (d *DegradationStats) add(o DegradationStats) {
+	d.RetiredMolecules += o.RetiredMolecules
+	d.RetirementWritebacks += o.RetirementWritebacks
+	d.RetirementLinesLost += o.RetirementLinesLost
+	d.LineCorruptions += o.LineCorruptions
+	d.DirtyCorruptions += o.DirtyCorruptions
+	d.NoCRetries += o.NoCRetries
+	d.NoCAbandonedLookups += o.NoCAbandonedLookups
+	d.UncachedBypasses += o.UncachedBypasses
+}

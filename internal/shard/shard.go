@@ -1,0 +1,240 @@
+// Package shard runs the molecular cache's access pipeline on multiple
+// goroutines while reproducing the serial engine's outputs byte for
+// byte — Results, ledgers, histograms, telemetry events, span traces,
+// resize decisions, and invariant captures are all identical at any
+// shard count.
+//
+// The parallelism comes from the paper's own locality argument: a
+// region's molecules all live in its home cluster, Ulmo sweeps never
+// leave the cluster, and the shared region only answers probes from its
+// own cluster, so accesses whose regions are homed in different
+// clusters touch disjoint mutable cache state. The engine statically
+// partitions clusters into shards (AssignClusters) and, within a batch,
+// carves the reference stream into epochs of accesses that are
+// independent of every cross-shard mechanism. Each epoch fans out to
+// one goroutine per shard; each worker replays its shard's accesses in
+// original trace order on a molecular.ShardLane, which accumulates
+// every cache-wide side effect (ledger, global window, probe histogram,
+// NoC traffic, degradation counters, telemetry events, span batches)
+// into lane-local deltas. At the epoch boundary MergeLanes folds the
+// deltas back in serial order on the coordinating goroutine.
+//
+// Anything that couples shards runs serially at the coordinator, before
+// the epoch that would observe it: region auto-admission (first touch
+// of a new ASID), scheduled fault delivery (molecule retirements, line
+// corruptions), and resize ticks. All three are predictable on the
+// logical access clock — faults.Injector.NextScheduledAt and
+// resize.Controller.NextTriggerAt expose the next due point — so the
+// epoch planner simply ends an epoch just before any of them fires.
+// AdaptivePerApp resize triggers fire on per-application ledger counts
+// the planner cannot see ahead of time; that configuration falls back
+// to serial execution rather than risk a divergent replay.
+//
+// This is the only package in the repository (besides the approved
+// driver/observability packages) sanctioned by the molvet concurrency
+// rule to use go statements and channels; internal/molecular itself
+// stays goroutine-free.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"molcache/internal/engine"
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/trace"
+)
+
+// AssignClusters maps each of nClusters clusters to one of shards
+// shards: cluster cl belongs to shard cl*shards/nClusters. The
+// assignment is a pure function of the geometry — stable across runs,
+// monotone in cl, and balanced to within one cluster — so shard
+// placement never depends on trace content or goroutine scheduling.
+// Panics when either argument is non-positive or shards exceeds
+// nClusters (callers clamp via New).
+func AssignClusters(nClusters, shards int) []int {
+	if nClusters <= 0 || shards <= 0 || shards > nClusters {
+		panic(fmt.Sprintf("shard: cannot split %d clusters into %d shards", nClusters, shards))
+	}
+	assign := make([]int, nClusters)
+	for cl := range assign {
+		assign[cl] = cl * shards / nClusters
+	}
+	return assign
+}
+
+// Engine replays references through a molecular cache using sharded
+// epochs. It implements engine.Cache (serial single-access path, so it
+// can stand in anywhere the serial cache does) and engine.Batcher
+// (the concurrent path). An Engine is not itself safe for concurrent
+// use — it owns the goroutines it spawns.
+type Engine struct {
+	cache *molecular.Cache
+	ctrl  *resize.Controller // nil when no resizing is driven
+	n     int
+	lanes []*molecular.ShardLane
+	// assign maps cluster ID -> shard index (AssignClusters).
+	assign []int
+	// perShard is reusable scratch: the indices (into the current
+	// epoch's ref slice) each shard will replay, in trace order.
+	perShard [][]int
+}
+
+// New builds a sharded engine over c driving ctrl (which may be nil).
+// The shard count is clamped to [1, clusters]: shards beyond the
+// cluster count could never own a cluster, and even a single shard is
+// useful because it exercises the epoch/merge machinery.
+func New(c *molecular.Cache, ctrl *resize.Controller, shards int) *Engine {
+	nClusters := len(c.Clusters())
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nClusters {
+		shards = nClusters
+	}
+	e := &Engine{
+		cache:    c,
+		ctrl:     ctrl,
+		n:        shards,
+		assign:   AssignClusters(nClusters, shards),
+		perShard: make([][]int, shards),
+	}
+	e.lanes = make([]*molecular.ShardLane, shards)
+	for i := range e.lanes {
+		e.lanes[i] = c.NewShardLane()
+	}
+	return e
+}
+
+// Shards returns the effective shard count after clamping.
+func (e *Engine) Shards() int { return e.n }
+
+// Cache returns the underlying molecular cache.
+func (e *Engine) Cache() *molecular.Cache { return e.cache }
+
+// Name identifies the configuration; it is the cache's own name, since
+// sharding changes how the simulation executes, not what it models.
+func (e *Engine) Name() string { return e.cache.Name() }
+
+// Access services one reference serially (with the resize tick the
+// serial driver loop would issue). Single accesses gain nothing from
+// fan-out; this exists so the Engine satisfies engine.Cache.
+func (e *Engine) Access(ref trace.Ref) engine.Result {
+	res := e.cache.Access(ref)
+	if e.ctrl != nil {
+		e.ctrl.Tick()
+	}
+	return res
+}
+
+// serialFallback replays refs one by one through the serial path.
+func (e *Engine) serialFallback(refs []trace.Ref, out []engine.Result) {
+	for i, ref := range refs {
+		out[i] = e.cache.Access(ref)
+		if e.ctrl != nil {
+			e.ctrl.Tick()
+		}
+	}
+}
+
+// boundary reports whether the access that would run at seq (the
+// cache-wide access count it will be assigned) must execute serially at
+// the coordinator: its region is not yet admitted, a scheduled fault is
+// due at or before it, or a resize trigger fires at or before it.
+// shardOf is only meaningful when boundary is false.
+func (e *Engine) boundary(ref trace.Ref, seq uint64) (bool, int) {
+	r := e.cache.Region(ref.ASID)
+	if r == nil {
+		return true, 0
+	}
+	if inj := e.cache.Faults(); inj != nil {
+		if at, ok := inj.NextScheduledAt(); ok && at <= seq {
+			return true, 0
+		}
+	}
+	if e.ctrl != nil {
+		if at, ok := e.ctrl.NextTriggerAt(); ok && at <= seq {
+			return true, 0
+		}
+	}
+	return false, e.assign[r.HomeTile().Cluster().ID()]
+}
+
+// AccessBatch services refs with sharded epochs and returns exactly the
+// Results sequential Access calls would have produced. It implements
+// engine.Batcher; drivers size batches via engine.RunBatch. Span memory
+// on the lanes grows with the epoch length, so span-traced runs should
+// keep batches bounded (molsim's -batch default does).
+func (e *Engine) AccessBatch(refs []trace.Ref) []engine.Result {
+	out := make([]engine.Result, len(refs))
+	if e.ctrl != nil && e.ctrl.Trigger() == resize.AdaptivePerApp {
+		// Per-app triggers fire on ledger counts only the replay itself
+		// produces; no epoch end-point can be planned ahead.
+		e.serialFallback(refs, out)
+		return out
+	}
+	for i := 0; i < len(refs); {
+		seqBase := e.cache.Addresses()
+		if b, _ := e.boundary(refs[i], seqBase+1); b {
+			out[i] = e.cache.Access(refs[i])
+			if e.ctrl != nil {
+				e.ctrl.Tick()
+			}
+			i++
+			continue
+		}
+		// Extend the epoch up to (not including) the next boundary
+		// access, partitioning as we scan. Region admission only happens
+		// at boundary accesses, so the first unadmitted ASID ends the
+		// scan before any admission could invalidate it.
+		for s := range e.perShard {
+			e.perShard[s] = e.perShard[s][:0]
+		}
+		end := i
+		for end < len(refs) {
+			b, s := e.boundary(refs[end], seqBase+uint64(end-i)+1)
+			if b {
+				break
+			}
+			e.perShard[s] = append(e.perShard[s], end)
+			end++
+		}
+		e.runEpoch(refs, out, i, seqBase)
+		endSeq := seqBase + uint64(end-i)
+		e.cache.MergeLanes(endSeq, e.lanes)
+		// The epoch ended strictly before the next resize trigger, so
+		// the per-access ticks the serial loop would have issued inside
+		// it were all no-ops; nothing to replay here.
+		i = end
+	}
+	return out
+}
+
+// runEpoch fans the planned epoch out to one goroutine per non-empty
+// shard. Worker k replays perShard[k]'s indices in trace order on lane
+// k; the cluster partition guarantees the workers touch disjoint cache
+// state, and the lane protocol confines every global side effect until
+// MergeLanes folds it in on the caller's goroutine.
+func (e *Engine) runEpoch(refs []trace.Ref, out []engine.Result, i int, seqBase uint64) {
+	var wg sync.WaitGroup
+	for s := 0; s < e.n; s++ {
+		idxs := e.perShard[s]
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(lane *molecular.ShardLane, idxs []int) {
+			defer wg.Done()
+			for _, k := range idxs {
+				out[k] = lane.Access(seqBase+uint64(k-i)+1, refs[k])
+			}
+		}(e.lanes[s], idxs)
+	}
+	wg.Wait()
+}
+
+var (
+	_ engine.Cache   = (*Engine)(nil)
+	_ engine.Batcher = (*Engine)(nil)
+)

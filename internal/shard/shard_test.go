@@ -1,0 +1,246 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"molcache/internal/engine"
+	"molcache/internal/molecular"
+	"molcache/internal/noc"
+	"molcache/internal/resize"
+	"molcache/internal/rng"
+	"molcache/internal/telemetry"
+	"molcache/internal/trace"
+)
+
+// TestAssignClustersProperties pins the static shard map's contract
+// with randomized geometry: the assignment is a pure function of
+// (nClusters, shards) — identical on every call — monotone in the
+// cluster ID, uses every shard, and balances ownership to within one
+// cluster. Together these make shard placement reproducible across
+// runs and machines, which the deterministic-replay argument needs.
+func TestAssignClustersProperties(t *testing.T) {
+	prop := func(rawClusters, rawShards uint8) bool {
+		nClusters := 1 + int(rawClusters)%64
+		shards := 1 + int(rawShards)%nClusters
+		a := AssignClusters(nClusters, shards)
+		b := AssignClusters(nClusters, shards)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		if len(a) != nClusters {
+			return false
+		}
+		counts := make([]int, shards)
+		prev := 0
+		for cl, s := range a {
+			if s < 0 || s >= shards || s < prev {
+				return false
+			}
+			prev = s
+			counts[s]++
+			_ = cl
+		}
+		lo, hi := counts[0], counts[0]
+		for _, n := range counts {
+			if n == 0 {
+				return false // every shard owns at least one cluster
+			}
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		return hi-lo <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// propTrace is a small randomized trace over four applications plus
+// shared-region traffic, sized for property-test iteration speed.
+func propTrace(seed uint64, n int) []trace.Ref {
+	src := rng.New(seed)
+	refs := make([]trace.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		var asid uint16
+		if src.Intn(24) == 0 {
+			asid = molecular.SharedASID
+		} else {
+			asid = uint16(1 + src.Intn(4))
+		}
+		block := uint64(src.Intn(2048))
+		kind := trace.Read
+		if src.Intn(4) == 0 {
+			kind = trace.Write
+		}
+		refs = append(refs, trace.Ref{Addr: uint64(asid)<<32 | block*64, ASID: asid, Kind: kind})
+	}
+	return refs
+}
+
+// propCache builds an 8-cluster cache with shared region, mesh, resize
+// controller and an event tracer for the replay properties.
+func propCache(t *testing.T) (*molecular.Cache, *resize.Controller, *telemetry.Tracer) {
+	t.Helper()
+	c, err := molecular.New(molecular.Config{
+		TotalSize:       1 << 20,
+		MoleculeSize:    8 << 10,
+		TilesPerCluster: 2,
+		Clusters:        8,
+		Policy:          molecular.RandyReplacement,
+		LineFactor:      2,
+		Seed:            2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateRegion(molecular.SharedASID, molecular.RegionOptions{
+		HomeCluster: 0, HomeTile: 0, InitialMolecules: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := noc.ForTiles(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachInterconnect(mesh); err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer(1 << 14)
+	c.AttachTelemetry(tr, nil)
+	ctrl, err := resize.New(c, resize.Config{
+		Period: 500, MinPeriod: 250, MaxPeriod: 4000,
+		MaxAllocation: 4, DefaultGoal: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctrl, tr
+}
+
+// TestMergedEventOrderIsScheduleIndependent replays one trace through
+// two independent sharded engines at the same shard count and demands
+// identical ordered event streams: whatever the scheduler did to the
+// epoch goroutines, the merge must put every event back in its serial
+// position (sequence numbers included).
+func TestMergedEventOrderIsScheduleIndependent(t *testing.T) {
+	prop := func(rawSeed uint16, rawShards uint8) bool {
+		seed := uint64(rawSeed)
+		shards := 1 + int(rawShards)%8
+		refs := propTrace(seed, 3000)
+		var streams [2][]telemetry.Event
+		for run := 0; run < 2; run++ {
+			c, ctrl, tr := propCache(t)
+			eng := New(c, ctrl, shards)
+			eng.AccessBatch(refs)
+			streams[run] = tr.Events()
+		}
+		if len(streams[0]) == 0 {
+			return false
+		}
+		return reflect.DeepEqual(streams[0], streams[1])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccessBatchEqualsAccessFold is the batching property: for any
+// trace, Engine.AccessBatch must return exactly the Results the same
+// refs produce through sequential Access calls on a twin cache, and
+// leave the twin's ledger, probe histogram and remote-cycle totals.
+func TestAccessBatchEqualsAccessFold(t *testing.T) {
+	prop := func(rawSeed uint16, rawShards, rawBatch uint8) bool {
+		seed := uint64(rawSeed) ^ 0xb27c
+		shards := 1 + int(rawShards)%8
+		batch := 64 + int(rawBatch)*4
+		refs := propTrace(seed, 3000)
+
+		sc, sCtrl, sTr := propCache(t)
+		serial := make([]engine.Result, len(refs))
+		for i, r := range refs {
+			serial[i] = sc.Access(r)
+			sCtrl.Tick()
+		}
+
+		hc, hCtrl, hTr := propCache(t)
+		eng := New(hc, hCtrl, shards)
+		var batched []engine.Result
+		for base := 0; base < len(refs); base += batch {
+			end := base + batch
+			if end > len(refs) {
+				end = len(refs)
+			}
+			batched = append(batched, eng.AccessBatch(refs[base:end])...)
+		}
+
+		if !reflect.DeepEqual(serial, batched) {
+			return false
+		}
+		if !reflect.DeepEqual(*sc.Ledger(), *hc.Ledger()) {
+			return false
+		}
+		if !reflect.DeepEqual(sc.ProbeHistogram(), hc.ProbeHistogram()) {
+			return false
+		}
+		if sc.RemoteCycles() != hc.RemoteCycles() {
+			return false
+		}
+		return reflect.DeepEqual(sTr.Events(), hTr.Events())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewClampsShardCount pins the constructor's clamping: shard
+// counts outside [1, clusters] are pulled into range rather than
+// rejected, so drivers can pass GOMAXPROCS-derived values blindly.
+func TestNewClampsShardCount(t *testing.T) {
+	c, ctrl, _ := propCache(t)
+	if got := New(c, ctrl, 0).Shards(); got != 1 {
+		t.Errorf("shards=0: want clamp to 1, got %d", got)
+	}
+	c2, ctrl2, _ := propCache(t)
+	if got := New(c2, ctrl2, 64).Shards(); got != 8 {
+		t.Errorf("shards=64: want clamp to clusters (8), got %d", got)
+	}
+}
+
+// TestAdaptivePerAppFallsBackSerially pins the planner's refusal to
+// parallelize per-app triggers: the batch must still be bit-equal to
+// the serial fold (it runs serially under the hood), not skipped.
+func TestAdaptivePerAppFallsBackSerially(t *testing.T) {
+	build := func() (*molecular.Cache, *resize.Controller) {
+		c, _, _ := propCache(t)
+		ctrl, err := resize.New(c, resize.Config{
+			Trigger: resize.AdaptivePerApp,
+			Period:  500, MinPeriod: 250, MaxPeriod: 4000,
+			MaxAllocation: 4, DefaultGoal: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, ctrl
+	}
+	refs := propTrace(99, 4000)
+	sc, sCtrl := build()
+	serial := make([]engine.Result, len(refs))
+	for i, r := range refs {
+		serial[i] = sc.Access(r)
+		sCtrl.Tick()
+	}
+	hc, hCtrl := build()
+	batched := New(hc, hCtrl, 4).AccessBatch(refs)
+	if !reflect.DeepEqual(serial, batched) {
+		t.Fatal("per-app fallback diverged from serial fold")
+	}
+	if !reflect.DeepEqual(sCtrl.Decisions(), hCtrl.Decisions()) {
+		t.Fatal("per-app fallback decision logs diverged")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"molcache/internal/partition"
 	"molcache/internal/power"
 	"molcache/internal/resize"
+	"molcache/internal/shard"
 	"molcache/internal/stackdist"
 	"molcache/internal/stats"
 	"molcache/internal/telemetry"
@@ -186,6 +187,13 @@ type (
 	DegradationStats = molecular.DegradationStats
 	// RetireReport describes one molecule retirement.
 	RetireReport = molecular.RetireReport
+
+	// ShardedEngine replays references through a molecular cache on
+	// multiple goroutines (one per cluster shard) with epoch-based
+	// synchronization; its AccessBatch is byte-identical to the serial
+	// per-access loop at any shard count. Build one with NewShardedEngine
+	// or Simulator.Sharded.
+	ShardedEngine = shard.Engine
 
 	// InvariantSnapshot is a pure-data capture of simulator state for
 	// auditing.
@@ -484,6 +492,33 @@ func (s *Simulator) Access(r Ref) AccessResult {
 	res := s.Cache.Access(r)
 	s.Controller.Tick()
 	return res
+}
+
+// AccessBatch applies a batch of references — the fold of Access, so a
+// Simulator satisfies engine.Batcher and drivers can amortize per-call
+// overhead uniformly. For concurrent batches use Sharded.
+func (s *Simulator) AccessBatch(refs []Ref) []AccessResult {
+	out := make([]AccessResult, len(refs))
+	for i, r := range refs {
+		out[i] = s.Access(r)
+	}
+	return out
+}
+
+// Sharded wraps the simulator in an epoch-parallel engine running the
+// access pipeline across `shards` cluster shards (clamped to
+// [1, clusters]). The engine's AccessBatch returns exactly the Results
+// — and leaves exactly the ledgers, telemetry, decision logs and
+// structural state — the serial Access loop would have; see
+// internal/shard for the determinism argument.
+func (s *Simulator) Sharded(shards int) *ShardedEngine {
+	return shard.New(s.Cache, s.Controller, shards)
+}
+
+// NewShardedEngine builds an epoch-parallel engine over a cache and
+// controller directly (ctrl may be nil when no resizing is driven).
+func NewShardedEngine(c *MolecularCache, ctrl *Controller, shards int) *ShardedEngine {
+	return shard.New(c, ctrl, shards)
 }
 
 // Run replays a reference slice through the simulator and returns the

@@ -52,12 +52,14 @@ race-shard:
 bench-micro:
 	$(GO) test -bench 'Access|CMPStep|WorkloadGeneration' -benchmem -run=NONE .
 
-# Fuzz the trace and checkpoint decoders (FUZZTIME per target).
+# Fuzz the trace and checkpoint decoders and the molvet directive
+# parser (FUZZTIME per target).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCompressedReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParseTextLine -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz FuzzParseDirective -fuzztime $(FUZZTIME) ./internal/analysis
 
 # Start molsim with -serve, curl every introspection endpoint and assert
 # well-formed, non-empty output (the CI smoke for the live observability

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("molvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
@@ -80,7 +81,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		names = strings.Split(*ruleList, ",")
 		for _, n := range names {
 			if !known(n) {
-				fmt.Fprintf(stderr, "molvet: unknown rule %q (see molvet -list)\n", n)
+				fmt.Fprintf(stderr, "molvet: unknown rule %q; known rules: %s\n",
+					n, strings.Join(analysis.RuleNames(), ", "))
 				return 2
 			}
 		}
@@ -88,6 +90,7 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	cfg := analysis.DefaultConfig()
 	var diags []analysis.Diagnostic
+	var loaded []*analysis.Package
 	failed := false
 	for _, p := range paths {
 		pkg, err := loader.Load(p)
@@ -96,7 +99,15 @@ func run(args []string, stdout, stderr *os.File) int {
 			failed = true
 			continue
 		}
+		loaded = append(loaded, pkg)
 		diags = append(diags, analysis.Run(cfg, pkg, names)...)
+	}
+	// Cross-package dataflow rules run once over the whole sweep: they
+	// need the shared call graph, not a single package's AST.
+	if len(loaded) > 0 {
+		mod := analysis.NewModule(loaded)
+		diags = append(diags, analysis.RunModule(cfg, mod, names)...)
+		analysis.Sort(diags)
 	}
 
 	if *jsonOut {

@@ -71,6 +71,58 @@ type Config struct {
 	// ConcurrencyAllowed are the only packages that may start goroutines
 	// or create channels.
 	ConcurrencyAllowed []string
+
+	// LaneRootPackages are the packages whose go statements root the
+	// lane-confinement walk — the only place shard goroutines are born.
+	LaneRootPackages []string
+	// LanePackages are the packages whose stores the lane-confinement
+	// rule classifies once reached from a shard goroutine.
+	LanePackages []string
+	// LaneSerialFuncs are boundary-serial functions (Type.Method or
+	// plain function names): bodies that only ever run between epochs,
+	// so their shared-state stores are sanctioned.
+	LaneSerialFuncs []string
+	// LaneSafeCalls are out-of-walk methods (Type.Method) that are safe
+	// from a shard lane even though they belong to shared structures
+	// (e.g. NoC traversal into a lane-private stats sink).
+	LaneSafeCalls []string
+
+	// Snapshots are the persisted structs whose fields snapshot-coverage
+	// diffs against their capture/restore closures.
+	Snapshots []SnapshotSurface
+
+	// HotPathRoots are the fast-path entry points (Type.Method) whose
+	// call-graph closure hotpath-alloc keeps allocation-free.
+	HotPathRoots []string
+	// HotPathPackages bound the hotpath-alloc walk: only functions
+	// declared in these packages are swept.
+	HotPathPackages []string
+	// HotPathStops are sanctioned slow-path functions (Type.Method or
+	// plain names) the hotpath-alloc walk does not descend into —
+	// refills, growth, retirement and error paths that may allocate.
+	HotPathStops []string
+
+	// LockPackages are the packages whose mutex acquisitions feed the
+	// lock-order graph.
+	LockPackages []string
+}
+
+// SnapshotSurface names one persisted struct and its checkpoint
+// closure. Every field of Package.Struct must be read somewhere in the
+// Capture closure AND written somewhere in the Restore closure (each
+// closure = the named functions plus all same-package functions they
+// reach), or carry a //molvet:transient reason directive.
+type SnapshotSurface struct {
+	// Package is the import-path suffix declaring the struct.
+	Package string
+	// Struct is the persisted struct type's name.
+	Struct string
+	// Capture are function or Type.Method names whose closure must read
+	// every persistent field.
+	Capture []string
+	// Restore are function or Type.Method names whose closure must
+	// write every persistent field.
+	Restore []string
 }
 
 // DefaultConfig is the repository's contract.
@@ -102,6 +154,81 @@ func DefaultConfig() Config {
 			// goroutines; internal/molecular itself stays goroutine-free
 			// and exposes only the passive ShardLane protocol, so the
 			// untracked-execution-stream argument holds everywhere else.
+			"internal/shard",
+		},
+
+		LaneRootPackages: []string{"internal/shard"},
+		LanePackages: []string{
+			"internal/molecular",
+			"internal/shard",
+		},
+		LaneSerialFuncs: []string{
+			// MergeLanes is the epoch barrier: it folds every lane's
+			// private deltas into the shared cache after the workers join.
+			"Cache.MergeLanes",
+		},
+		LaneSafeCalls: []string{
+			// TraverseInto accumulates into the caller-supplied Stats —
+			// the lane's private copy on the shard path.
+			"Mesh.TraverseInto",
+			// DelayWindowAt is a pure read of the materialized campaign.
+			"Injector.DelayWindowAt",
+		},
+
+		Snapshots: []SnapshotSurface{
+			{
+				Package: "internal/molecular", Struct: "Cache",
+				Capture: []string{"Cache.CaptureState"},
+				Restore: []string{"RestoreCache"},
+			},
+			{
+				Package: "internal/resize", Struct: "Controller",
+				Capture: []string{"Controller.CaptureState"},
+				Restore: []string{"Controller.RestoreState"},
+			},
+			{
+				Package: "internal/faults", Struct: "Injector",
+				Capture: []string{"Injector.CursorState"},
+				Restore: []string{"Injector.RestoreCursors"},
+			},
+			{
+				Package: "internal/noc", Struct: "Mesh",
+				Capture: []string{"Mesh.Stats"},
+				Restore: []string{"Mesh.RestoreStats"},
+			},
+			{
+				Package: "internal/telemetry", Struct: "Registry",
+				Capture: []string{"Registry.Snapshot"},
+				Restore: []string{"Registry.LoadSnapshot"},
+			},
+		},
+
+		HotPathRoots: []string{
+			"Cache.Access",
+			"Cache.AccessBatch",
+			"Engine.Access",
+			"Engine.AccessBatch",
+		},
+		HotPathPackages: []string{
+			"internal/molecular",
+			"internal/shard",
+		},
+		HotPathStops: []string{
+			// Sanctioned slow paths off the fast path: structural growth,
+			// degradation and the trace emission tail may allocate.
+			"Cache.CreateRegion",
+			"Cache.growMolecules",
+			"Cache.RetireMolecule",
+			"Cache.CorruptLine",
+			"Cache.emitLane",
+			// Epoch fan-out spawns goroutines by design; its cost is
+			// amortized over the whole epoch.
+			"Engine.runEpoch",
+		},
+
+		LockPackages: []string{
+			"internal/obs",
+			"internal/telemetry",
 			"internal/shard",
 		},
 	}
@@ -179,7 +306,7 @@ func Run(cfg Config, pkg *Package, names []string) []Diagnostic {
 			}
 		}
 	}
-	ignores, bad := pkg.directives()
+	ignores, _, bad := pkg.directives()
 	var out []Diagnostic
 	out = append(out, bad...)
 	for _, r := range selected {
@@ -193,6 +320,10 @@ func Run(cfg Config, pkg *Package, names []string) []Diagnostic {
 	sortDiagnostics(out)
 	return out
 }
+
+// Sort orders diagnostics by file, line, column and rule — for callers
+// that merge per-package and module-level findings into one report.
+func Sort(ds []Diagnostic) { sortDiagnostics(ds) }
 
 // sortDiagnostics orders by file, then line, then column, then rule.
 func sortDiagnostics(ds []Diagnostic) {
@@ -213,7 +344,14 @@ func sortDiagnostics(ds []Diagnostic) {
 
 // diag builds a Diagnostic for a node in pkg.
 func diag(pkg *Package, node ast.Node, rule, format string, args ...any) Diagnostic {
-	pos := pkg.Fset.Position(node.Pos())
+	return diagAt(pkg, node.Pos(), rule, format, args...)
+}
+
+// diagAt builds a Diagnostic at a raw token position in pkg — for
+// findings anchored to type objects (struct fields) rather than AST
+// nodes.
+func diagAt(pkg *Package, at token.Pos, rule, format string, args ...any) Diagnostic {
+	pos := pkg.Fset.Position(at)
 	return Diagnostic{
 		Pos:     pos,
 		File:    pos.Filename,

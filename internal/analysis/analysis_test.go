@@ -44,10 +44,14 @@ func TestRegisteredRules(t *testing.T) {
 	want := []string{
 		"concurrency",
 		"determinism",
+		"hotpath-alloc",
+		"lane-confinement",
 		"lock-copy",
+		"lock-order",
 		"map-order",
 		"panic-discipline",
 		"sink-errors",
+		"snapshot-coverage",
 		"telemetry-names",
 	}
 	got := RuleNames()
@@ -87,13 +91,20 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig()
+	var loaded []*Package
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
+		loaded = append(loaded, pkg)
 		for _, d := range Run(cfg, pkg, nil) {
 			t.Errorf("%s", d)
 		}
+	}
+	// The cross-package dataflow rules run once over the whole sweep,
+	// exactly as cmd/molvet does.
+	for _, d := range RunModule(cfg, NewModule(loaded), nil) {
+		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestCallGraphGolden pins the whole graph of the cg fixture — CHA
+// edges to both Evict implementations, the literal node Run$1 with its
+// creation edge, the go-launched worker, and the unresolved indirect
+// call f() (no edge) — against testdata/cg.golden.
+func TestCallGraphGolden(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, l, "cg")
+	g := BuildCallGraph([]*Package{pkg})
+	checkGolden(t, "cg", []byte(g.Dump(l.ModulePath+"/internal/analysis/testdata/src/")))
+}
+
+func TestCallGraphLookup(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, l, "cg")
+	g := BuildCallGraph([]*Package{pkg})
+	for _, name := range []string{"Run", "Run$1", "LRU.Evict", "Random.Evict", "worker", "helper"} {
+		if g.Lookup("cg", name) == nil {
+			t.Errorf("Lookup(cg, %s) = nil, want node", name)
+		}
+	}
+	if g.Lookup("cg", "NoSuchFunc") != nil {
+		t.Error("Lookup must return nil for unknown names")
+	}
+}
+
+// synthGraph builds a synthetic call graph from an adjacency relation
+// over n nodes: edges[i] lists callee indices of node i.
+func synthGraph(n int, edges [][]int) []*FuncNode {
+	nodes := make([]*FuncNode, n)
+	for i := range nodes {
+		nodes[i] = &FuncNode{Name: fmt.Sprintf("f%d", i)}
+	}
+	for i, cs := range edges {
+		for _, c := range cs {
+			nodes[i].addCall(nodes[c])
+		}
+	}
+	return nodes
+}
+
+// TestReachableMonotone is the testing/quick property of the issue:
+// adding an edge to a call graph never shrinks the reachable set. Each
+// trial draws a random graph plus one extra edge and checks that
+// reachability from node 0 with the edge is a superset of reachability
+// without it.
+func TestReachableMonotone(t *testing.T) {
+	g := (&CallGraph{})
+	property := func(adj [][]byte, from, to uint8) bool {
+		n := len(adj) + 2 // at least the root and the new edge's endpoints
+		edges := make([][]int, n)
+		for i, row := range adj {
+			for _, b := range row {
+				edges[i] = append(edges[i], int(b)%n)
+			}
+		}
+		before := synthGraph(n, edges)
+		after := synthGraph(n, edges)
+		after[int(from)%n].addCall(after[int(to)%n])
+
+		reachBefore := g.Reachable([]*FuncNode{before[0]}, nil)
+		reachAfter := g.Reachable([]*FuncNode{after[0]}, nil)
+
+		// Compare by index: node i reachable before must stay reachable.
+		if len(reachAfter) < len(reachBefore) {
+			return false
+		}
+		for i := range before {
+			if reachBefore[before[i]] && !reachAfter[after[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReachableFilter checks that a filter prunes traversal at the
+// rejected node without hiding nodes reached another way.
+func TestReachableFilter(t *testing.T) {
+	// 0 -> 1 -> 2, 0 -> 3
+	nodes := synthGraph(4, [][]int{{1, 3}, {2}, nil, nil})
+	g := &CallGraph{}
+	reach := g.Reachable([]*FuncNode{nodes[0]}, func(n *FuncNode) bool {
+		return n != nodes[1]
+	})
+	if reach[nodes[1]] || reach[nodes[2]] {
+		t.Error("filter must stop traversal into and past the rejected node")
+	}
+	if !reach[nodes[0]] || !reach[nodes[3]] {
+		t.Error("filter must not hide the root or its admitted callees")
+	}
+}

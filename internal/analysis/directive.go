@@ -5,13 +5,89 @@ import (
 	"strings"
 )
 
-// ignorePrefix introduces a suppression directive. The full form is
+// Directives are molvet's sanctioned escape hatches. Two verbs exist:
 //
 //	//molvet:ignore rule-name reason for the exception
+//	//molvet:transient reason the field is not checkpointed
 //
-// placed on the offending line or on the line directly above it. The
-// reason is mandatory: an unexplained exception is itself a finding.
-const ignorePrefix = "//molvet:ignore"
+// An ignore suppresses one rule's findings on its own line and the line
+// below. A transient marks a struct field as deliberately outside the
+// snapshot-coverage contract (derived state, live attachments, config
+// mirrors). Both demand a reason: an unexplained exception is itself a
+// finding. Any other //molvet: verb is malformed — a typo that silently
+// suppressed nothing is exactly the failure mode directives exist to
+// avoid.
+const directivePrefix = "//molvet:"
+
+// directiveKind distinguishes the two verbs.
+type directiveKind int
+
+const (
+	directiveIgnore directiveKind = iota
+	directiveTransient
+)
+
+// parsedDirective is one well-formed directive.
+type parsedDirective struct {
+	kind directiveKind
+	// rule is the suppressed rule (ignore only).
+	rule string
+	// reason is the mandatory free-form justification.
+	reason string
+}
+
+// parseDirective interprets one comment's text. ok reports whether the
+// comment is a molvet directive at all; a directive that is recognized
+// but malformed comes back with ok=true and a non-empty problem string
+// (the diagnostic message). The parser is total: no input panics — the
+// fuzz target in directive_fuzz_test.go holds it to that.
+func parseDirective(text string) (d parsedDirective, ok bool, problem string) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return parsedDirective{}, false, ""
+	}
+	// Split the verb from its payload; the verb runs to the first space,
+	// tab, or end of comment.
+	verb := rest
+	payload := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, payload = rest[:i], rest[i+1:]
+	}
+	switch verb {
+	case "ignore":
+		fields := strings.Fields(payload)
+		if len(fields) == 0 {
+			return parsedDirective{kind: directiveIgnore}, true,
+				"molvet:ignore needs a rule name and a reason"
+		}
+		rule := fields[0]
+		if _, known := rules[rule]; !known {
+			return parsedDirective{kind: directiveIgnore, rule: rule}, true,
+				"molvet:ignore names unknown rule " + rule
+		}
+		if len(fields) < 2 {
+			return parsedDirective{kind: directiveIgnore, rule: rule}, true,
+				"molvet:ignore " + rule + " has no reason; explain the exception"
+		}
+		return parsedDirective{
+			kind:   directiveIgnore,
+			rule:   rule,
+			reason: strings.Join(fields[1:], " "),
+		}, true, ""
+	case "transient":
+		reason := strings.TrimSpace(payload)
+		if reason == "" {
+			return parsedDirective{kind: directiveTransient}, true,
+				"molvet:transient has no reason; explain why the field is not checkpointed"
+		}
+		return parsedDirective{kind: directiveTransient, reason: reason}, true, ""
+	default:
+		if verb == "" {
+			return parsedDirective{}, true, "molvet: directive has no verb (want ignore or transient)"
+		}
+		return parsedDirective{}, true, "molvet:" + verb + " is not a directive (want ignore or transient)"
+	}
+}
 
 // ignoreKey identifies one suppressed (rule, file, line) cell. A
 // directive on line N covers findings on lines N and N+1, so it works
@@ -30,47 +106,58 @@ func (s ignoreSet) covers(rule string, pos token.Position) bool {
 		s[ignoreKey{rule, pos.Filename, pos.Line - 1}]
 }
 
-// directives scans every comment in the package for molvet:ignore
-// markers. Malformed directives (no rule name, unknown rule, or a
-// missing reason) come back as diagnostics under the "directive"
+// transientKey locates one //molvet:transient marker.
+type transientKey struct {
+	file string
+	line int
+}
+
+// transientSet maps marker positions to their reasons.
+type transientSet map[transientKey]string
+
+// covers reports whether a transient marker annotates the field at pos
+// (own line or the line above, like ignore).
+func (s transientSet) covers(pos token.Position) bool {
+	if _, ok := s[transientKey{pos.Filename, pos.Line}]; ok {
+		return true
+	}
+	_, ok := s[transientKey{pos.Filename, pos.Line - 1}]
+	return ok
+}
+
+// directives scans every comment in the package for molvet markers.
+// Malformed directives come back as diagnostics under the "directive"
 // pseudo-rule so they fail the build instead of silently ignoring
 // nothing.
-func (p *Package) directives() (ignoreSet, []Diagnostic) {
-	set := ignoreSet{}
+func (p *Package) directives() (ignoreSet, transientSet, []Diagnostic) {
+	ignores := ignoreSet{}
+	transients := transientSet{}
 	var bad []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //molvet:ignoreXYZ — not ours
+				d, ok, problem := parseDirective(c.Text)
+				if !ok {
+					continue
 				}
-				fields := strings.Fields(rest)
 				pos := p.Fset.Position(c.Pos())
-				if len(fields) == 0 {
-					bad = append(bad, directiveDiag(pos,
-						"molvet:ignore needs a rule name and a reason"))
+				if problem != "" {
+					bad = append(bad, directiveDiag(pos, problem))
 					continue
 				}
-				rule := fields[0]
-				if _, known := rules[rule]; !known {
-					bad = append(bad, directiveDiag(pos,
-						"molvet:ignore names unknown rule "+rule))
-					continue
+				switch d.kind {
+				case directiveIgnore:
+					ignores[ignoreKey{d.rule, pos.Filename, pos.Line}] = true
+				case directiveTransient:
+					transients[transientKey{pos.Filename, pos.Line}] = d.reason
 				}
-				if len(fields) < 2 {
-					bad = append(bad, directiveDiag(pos,
-						"molvet:ignore "+rule+" has no reason; explain the exception"))
-					continue
-				}
-				set[ignoreKey{rule, pos.Filename, pos.Line}] = true
 			}
 		}
 	}
-	return set, bad
+	return ignores, transients, bad
 }
 
 func directiveDiag(pos token.Position, msg string) Diagnostic {

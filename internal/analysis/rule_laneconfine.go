@@ -1,0 +1,357 @@
+package analysis
+
+// lane-confinement: from every goroutine launched in a LaneRootPackage
+// (the shard engine's epoch workers), walk the call graph and prove
+// each store that can execute mid-epoch targets lane-owned or
+// lane-local state. PR 8's byte-identical sharded replay rests on the
+// convention that shard goroutines mutate only their ShardLane's
+// private deltas and their own cluster's Region/Molecule/Tile state —
+// never shared Cache fields, package-level variables or non-atomic
+// telemetry — until Cache.MergeLanes folds the deltas back at the
+// epoch barrier. This rule makes that convention a lint error.
+//
+// Context tracking: a `.shard` field read is the protocol's lane
+// discriminator, so the walker is path-sensitive about it —
+//
+//	if ln.shard { ... return }   // code below runs serial-only
+//	if !ln.shard { serial } else { shard }
+//	if ln.shard { panic(...) }   // code below runs serial-only
+//
+// Bodies of functions named in LaneSerialFuncs (MergeLanes) are
+// boundary-serial and skipped entirely — but calling one mid-epoch is
+// still a finding, because its receiver chain is shared Cache state.
+//
+// Store/call classification, in order: targets whose selector chain
+// passes through a lane type (name contains "Lane"/"lane") are
+// lane-owned; locals and parameters that are not the shared Cache are
+// cluster-confined (the shard owns every cluster it touches — the
+// runtime contract AssignClusters establishes); telemetry
+// Counter/Gauge/Histogram cells are atomic; LaneSafeCalls are
+// allow-listed; everything rooted at a Cache value or a package-level
+// variable is a finding.
+//
+// Soundness caveats: calls through plain function values are invisible
+// to the walk; address-of escapes (handing &c.field to a callee) are
+// not tracked; and the cluster-confinement of locals is assumed, not
+// proved — the differential oracle remains the second line of defense
+// for those.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() { Register(laneRule{}) }
+
+type laneRule struct{}
+
+func (laneRule) Name() string { return "lane-confinement" }
+
+func (laneRule) Doc() string {
+	return "stores reachable from shard goroutines stay on ShardLane deltas or lane-local state until MergeLanes"
+}
+
+// Check is a no-op: the rule runs once per module via CheckModule.
+func (laneRule) Check(cfg Config, pkg *Package) []Diagnostic { return nil }
+
+func (laneRule) CheckModule(cfg Config, mod *Module) []Diagnostic {
+	g := mod.CallGraph()
+	w := &laneWalker{cfg: cfg, g: g, visited: map[*FuncNode]bool{}}
+	for _, n := range g.Nodes() {
+		if matchAny(n.Pkg.Path, cfg.LaneRootPackages) {
+			for _, root := range n.GoTargets {
+				w.enqueue(root)
+			}
+		}
+	}
+	for len(w.queue) > 0 {
+		n := w.queue[0]
+		w.queue = w.queue[1:]
+		w.check(n)
+	}
+	return w.out
+}
+
+type laneWalker struct {
+	cfg     Config
+	g       *CallGraph
+	visited map[*FuncNode]bool
+	queue   []*FuncNode
+	out     []Diagnostic
+
+	// pkg is the package of the node currently being checked.
+	pkg *Package
+}
+
+func (w *laneWalker) enqueue(n *FuncNode) {
+	if n == nil || w.visited[n] {
+		return
+	}
+	w.visited[n] = true
+	w.queue = append(w.queue, n)
+}
+
+// check walks one function body that is reachable mid-epoch.
+func (w *laneWalker) check(n *FuncNode) {
+	if !matchAny(n.Pkg.Path, w.cfg.LanePackages) {
+		return
+	}
+	if n.Obj != nil && matchFuncName(n.Obj, w.cfg.LaneSerialFuncs) {
+		return
+	}
+	prev := w.pkg
+	w.pkg = n.Pkg
+	w.block(n.Body.List, true)
+	w.pkg = prev
+}
+
+// block walks a statement list with the given shard-context flag,
+// re-scoping the remainder of the list after a terminating `.shard`
+// guard.
+func (w *laneWalker) block(list []ast.Stmt, shard bool) {
+	for i, s := range list {
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Init == nil {
+			if neg, isGuard := shardCond(ifs.Cond); isGuard {
+				thenCtx, elseCtx := shard, false
+				if neg {
+					thenCtx, elseCtx = false, shard
+				}
+				w.block(ifs.Body.List, thenCtx)
+				if ifs.Else != nil {
+					w.node(ifs.Else, elseCtx)
+				}
+				rest := shard
+				if !neg && terminates(ifs.Body) {
+					rest = false // shard lanes bailed out above
+				}
+				w.block(list[i+1:], rest)
+				return
+			}
+		}
+		w.node(s, shard)
+	}
+}
+
+// node scans one statement (or else-branch) in the given context,
+// handing nested blocks back to block and literals an inline walk.
+func (w *laneWalker) node(n ast.Node, shard bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.BlockStmt:
+			w.block(x.List, shard)
+			return false
+		case *ast.IfStmt:
+			if neg, isGuard := shardCond(x.Cond); isGuard && x.Init == nil {
+				thenCtx, elseCtx := shard, false
+				if neg {
+					thenCtx, elseCtx = false, shard
+				}
+				w.block(x.Body.List, thenCtx)
+				if x.Else != nil {
+					w.node(x.Else, elseCtx)
+				}
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			// A literal created mid-epoch may run mid-epoch: walk its
+			// body in the current context instead of as a graph node.
+			w.block(x.Body.List, shard)
+			return false
+		case *ast.AssignStmt:
+			if shard && x.Tok != token.DEFINE {
+				for _, lhs := range x.Lhs {
+					w.store(lhs)
+				}
+			}
+			return true
+		case *ast.IncDecStmt:
+			if shard {
+				w.store(x.X)
+			}
+			return true
+		case *ast.RangeStmt:
+			if shard && x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					w.store(x.Key)
+				}
+				if x.Value != nil {
+					w.store(x.Value)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if shard {
+				w.call(x)
+			} else {
+				// Serial context: still descend into lane-package
+				// callees? No — serial-only code is outside the
+				// contract; only the call graph edges taken in shard
+				// context matter.
+				_ = x
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// store classifies one mid-epoch lvalue.
+func (w *laneWalker) store(lhs ast.Expr) {
+	p := w.pkg
+	base, viaLane, viaCache := chainRoot(p, lhs)
+	if viaCache {
+		w.out = append(w.out, diag(p, lhs, "lane-confinement",
+			"mid-epoch store to shared Cache state from a shard lane; use a ShardLane delta and fold it in MergeLanes"))
+		return
+	}
+	if viaLane {
+		return
+	}
+	if base == nil {
+		w.out = append(w.out, diag(p, lhs, "lane-confinement",
+			"mid-epoch store through an unresolvable chain from a shard lane; route it through the ShardLane delta"))
+		return
+	}
+	if base.Name == "_" {
+		return
+	}
+	switch o := lookupIdent(p, base).(type) {
+	case *types.PkgName:
+		w.out = append(w.out, diag(p, lhs, "lane-confinement",
+			"mid-epoch store to package-level state %s from a shard lane; fold it in MergeLanes instead", base.Name))
+	case *types.Var:
+		if packageLevel(o) {
+			w.out = append(w.out, diag(p, lhs, "lane-confinement",
+				"mid-epoch store to package-level variable %s from a shard lane; fold it in MergeLanes instead", base.Name))
+		}
+		// Locals and parameters: lane-local or cluster-confined.
+	}
+}
+
+// call classifies one mid-epoch call: descend into lane-package
+// callees, allow the safe lists, flag pointer-receiver methods on
+// shared structures.
+func (w *laneWalker) call(x *ast.CallExpr) {
+	p := w.pkg
+	obj, _ := p.calleeObject(x).(*types.Func)
+	if obj == nil {
+		return // builtin, conversion, or unresolved indirect call
+	}
+	if matchFuncName(obj, w.cfg.LaneSafeCalls) {
+		return
+	}
+	if node := w.g.NodeFor(obj); node != nil &&
+		matchAny(node.Pkg.Path, w.cfg.LanePackages) &&
+		!matchFuncName(obj, w.cfg.LaneSerialFuncs) {
+		w.enqueue(node)
+		return
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return // plain function outside the walk: no receiver to mutate
+	}
+	if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+		return // value receiver cannot mutate shared state
+	}
+	if isAtomicCell(sig.Recv().Type()) {
+		return
+	}
+	sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return // method expression / value: unresolved, see caveats
+	}
+	base, viaLane, viaCache := chainRoot(p, sel.X)
+	// The receiver itself is the mutated object; its own type outranks
+	// anything noted along the chain (e.cache is shared Cache state no
+	// matter that the base e is a local).
+	switch t := p.typeOf(sel.X); {
+	case isCacheType(t):
+		viaCache, viaLane = true, false
+	case isLaneType(t):
+		viaLane, viaCache = true, false
+	}
+	shared := viaCache
+	name := funcDisplayName(obj)
+	if !shared && !viaLane {
+		if base == nil {
+			shared = true
+		} else if bobj, okVar := lookupIdent(p, base).(*types.Var); okVar {
+			shared = packageLevel(bobj)
+		} else if _, isPkg := lookupIdent(p, base).(*types.PkgName); isPkg {
+			shared = true
+		}
+	}
+	if shared {
+		w.out = append(w.out, diag(p, x, "lane-confinement",
+			"mid-epoch call to %s may mutate shared state from a shard lane; defer it to MergeLanes or allow-list it in LaneSafeCalls", name))
+	}
+}
+
+// shardCond matches the lane discriminator guard `X.shard` (neg=false)
+// or `!X.shard` (neg=true).
+func shardCond(cond ast.Expr) (neg, ok bool) {
+	e := ast.Unparen(cond)
+	if u, isNot := e.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		neg = true
+		e = ast.Unparen(u.X)
+	}
+	sel, isSel := e.(*ast.SelectorExpr)
+	return neg, isSel && sel.Sel.Name == "shard"
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing statement list: return, panic, or a branch statement.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// lookupIdent resolves an identifier's object (use or def).
+func lookupIdent(p *Package, id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// packageLevel reports whether v is a package-level variable.
+func packageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isAtomicCell reports whether t (or its pointee) is a telemetry
+// Counter, Gauge or Histogram — atomic registry cells shard lanes may
+// update directly.
+func isAtomicCell(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !matchSuffix(obj.Pkg().Path(), "internal/telemetry") {
+		return false
+	}
+	switch obj.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return true
+	}
+	return false
+}

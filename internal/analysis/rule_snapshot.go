@@ -1,0 +1,133 @@
+package analysis
+
+// snapshot-coverage: every field of a persisted struct must flow
+// through its checkpoint closure. PR 7's crash-safe restore only
+// round-trips state that CaptureState reads and RestoreCache (and
+// friends) write back; a field added later and forgotten in either
+// place silently desynchronizes the restored run from the reference
+// until the chaos soak trips over it. This rule turns that into a lint
+// error: for each configured SnapshotSurface, diff the struct's fields
+// against the mentions in the capture closure and the restore closure
+// (the named functions plus every same-package function they reach in
+// the call graph). A deliberately unpersisted field — derived state,
+// live attachments, config mirrors — carries a
+// `//molvet:transient reason` directive on or above its declaration.
+//
+// Soundness caveats: coverage is mention-based (a field the closure
+// touches at all counts, with no read/write direction proof), and the
+// closure cuts at package boundaries, so capture helpers in another
+// package must be re-exported through a local wrapper to count.
+
+import (
+	"go/types"
+)
+
+func init() { Register(snapshotRule{}) }
+
+type snapshotRule struct{}
+
+func (snapshotRule) Name() string { return "snapshot-coverage" }
+
+func (snapshotRule) Doc() string {
+	return "every persisted struct field is covered by its capture and restore closures or marked //molvet:transient"
+}
+
+// Check is a no-op: the rule needs the cross-package call graph and
+// runs once per module via CheckModule.
+func (snapshotRule) Check(cfg Config, pkg *Package) []Diagnostic { return nil }
+
+func (snapshotRule) CheckModule(cfg Config, mod *Module) []Diagnostic {
+	g := mod.CallGraph()
+	_, transients := mod.directives()
+	var out []Diagnostic
+	for _, surface := range cfg.Snapshots {
+		for _, p := range mod.PackagesMatching([]string{surface.Package}) {
+			out = append(out, checkSurface(g, transients, surface, p)...)
+		}
+	}
+	return out
+}
+
+func checkSurface(g *CallGraph, transients transientSet, surface SnapshotSurface, p *Package) []Diagnostic {
+	tn, ok := p.Types.Scope().Lookup(surface.Struct).(*types.TypeName)
+	if !ok {
+		// The package doesn't declare the struct (a fixture module
+		// carrying only part of the real layout); nothing to check.
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	fields := structFields(named)
+	if len(fields) == 0 {
+		return nil
+	}
+	fieldSet := map[*types.Var]bool{}
+	for _, f := range fields {
+		fieldSet[f] = true
+	}
+
+	var out []Diagnostic
+	closure := func(names []string, role string) []*FuncNode {
+		var roots []*FuncNode
+		for _, n := range g.Nodes() {
+			if n.Pkg == p && n.Lit == nil && nameInList(n.Name, names) {
+				roots = append(roots, n)
+			}
+		}
+		if len(roots) == 0 {
+			out = append(out, diagAt(p, tn.Pos(), "snapshot-coverage",
+				"persisted struct %s has no %s function (want one of %v)",
+				surface.Struct, role, names))
+		}
+		return samePackageClosure(g, roots, p.Path)
+	}
+	captured := fieldMentions(closure(surface.Capture, "capture"), fieldSet)
+	restored := fieldMentions(closure(surface.Restore, "restore"), fieldSet)
+
+	for _, f := range fields {
+		if isMutexType(f.Type()) {
+			continue // runtime-only synchronization state, never persisted
+		}
+		pos := p.Fset.Position(f.Pos())
+		if transients.covers(pos) {
+			continue
+		}
+		switch {
+		case !captured[f]:
+			out = append(out, diagAt(p, f.Pos(), "snapshot-coverage",
+				"field %s.%s is not read by the %v closure; checkpoint it or mark it //molvet:transient with a reason",
+				surface.Struct, f.Name(), surface.Capture))
+		case !restored[f]:
+			out = append(out, diagAt(p, f.Pos(), "snapshot-coverage",
+				"field %s.%s is not written by the %v closure; restore it or mark it //molvet:transient with a reason",
+				surface.Struct, f.Name(), surface.Restore))
+		}
+	}
+	return out
+}
+
+// nameInList reports whether name equals any entry.
+func nameInList(name string, list []string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex — the
+// only fields auto-exempt from snapshot coverage.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

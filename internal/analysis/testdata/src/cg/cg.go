@@ -1,0 +1,37 @@
+// Package cg is the call-graph fixture: interface dispatch resolved by
+// CHA (both Evict implementations become edges), a function literal
+// with its own node, a goroutine launch, and a plain call chain. The
+// golden test dumps the whole graph; edits here must be mirrored in
+// testdata/cg.golden.
+package cg
+
+// Policy is dispatched through the interface: CHA resolves a call on it
+// to every module implementation.
+type Policy interface{ Evict() int }
+
+// LRU is one implementation.
+type LRU struct{ clock int }
+
+// Evict implements Policy.
+func (l *LRU) Evict() int { l.clock++; return l.clock }
+
+// Random is the other implementation.
+type Random struct{ seed int }
+
+// Evict implements Policy.
+func (r *Random) Evict() int { r.seed *= 1103515245; return r.seed }
+
+// Run drives a policy (CHA edges to both Evicts), spawns a worker, and
+// creates a literal — the literal call itself is indirect and stays
+// unresolved, but the creation edge keeps its body reachable.
+func Run(p Policy) int {
+	go worker()
+	f := func() int { return helper() }
+	return p.Evict() + f()
+}
+
+// worker loops the helper once.
+func worker() { helper() }
+
+// helper is shared by the literal and the worker.
+func helper() int { return 1 }

@@ -1,0 +1,55 @@
+// Package molecular is a molvet fixture for the hotpath-alloc rule:
+// Cache.Access is a fast-path root whose closure commits each
+// allocation idiom the rule flags — a retained append, an escaping
+// composite literal, a fmt call, and interface boxing — next to the
+// sanctioned shapes it must NOT flag: a local append, a panic message,
+// and the CreateRegion stop. Edits here must be mirrored in
+// testdata/hotpath.golden.
+package molecular
+
+import "fmt"
+
+// Entry is a fill record.
+type Entry struct {
+	Addr uint64
+	Way  int
+}
+
+// Cache is the fixture fast-path owner.
+type Cache struct {
+	name string
+	log  []string
+	last *Entry
+}
+
+// Access is the fast-path root (HotPathRoots).
+func (c *Cache) Access(addr uint64) int {
+	way := c.lookup(addr)
+	if way < 0 {
+		panic(fmt.Sprintf("molecular: bad way for %d", addr)) // panic args may allocate
+	}
+	return way
+}
+
+// lookup is reachable from Access and carries the seeded findings.
+func (c *Cache) lookup(addr uint64) int {
+	c.log = append(c.log, c.name)             // retained append: finding
+	c.last = &Entry{Addr: addr}               // escaping literal: finding
+	c.describe(fmt.Sprintf("probe %d", addr)) // fmt on the fast path: finding
+	trace(addr)                               // boxing a uint64 into any: finding
+	scratch := make([]int, 0, 4)
+	scratch = append(scratch, int(addr)) // local append: not a finding
+	return len(scratch) - 1
+}
+
+// describe records a preformatted label (string parameter: no boxing).
+func (c *Cache) describe(s string) { _ = s }
+
+// trace swallows a value; its any parameter is what boxes.
+func trace(v any) { _ = v }
+
+// CreateRegion is a sanctioned slow path (HotPathStops): its fmt call
+// must not be flagged even when reached from the root.
+func (c *Cache) CreateRegion(id uint16) {
+	c.log = append(c.log, fmt.Sprintf("region %d", id))
+}

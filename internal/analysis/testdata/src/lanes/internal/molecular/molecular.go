@@ -1,0 +1,64 @@
+// Package molecular is a molvet fixture for the lane-confinement rule:
+// a miniature Cache/ShardLane pair seeded with the mid-epoch mistakes
+// the rule exists to catch — a store to shared Cache state reached
+// through the lane, and a package-level counter bump. The lane-owned
+// deltas and the serial-guarded branch next to them must NOT be
+// flagged. The module golden test walks this from the shard fixture's
+// goroutine roots with only lane-confinement enabled; edits here must
+// be mirrored in testdata/lanes.golden.
+package molecular
+
+// accesses is package-level state; bumping it mid-epoch is a finding.
+var accesses uint64
+
+// Ref is one trace reference.
+type Ref struct{ Addr uint64 }
+
+// Cache is the shared structure the lanes must not touch mid-epoch.
+type Cache struct {
+	total  uint64
+	window uint64
+	merges uint64
+}
+
+// ShardLane carries one shard's private deltas.
+type ShardLane struct {
+	cache *Cache
+	shard bool
+	hits  uint64
+	evts  []uint64
+}
+
+// NewShardLane builds a lane over c.
+func NewShardLane(c *Cache) *ShardLane { return &ShardLane{cache: c, shard: true} }
+
+// Access services one reference mid-epoch. The lane-owned increments
+// and the serial-guarded branch are fine; the descent into record is
+// where the shared store hides.
+func (ln *ShardLane) Access(ref Ref) {
+	ln.hits++                           // lane-owned delta: fine
+	ln.evts = append(ln.evts, ref.Addr) // lane-owned buffer: fine
+	if !ln.shard {
+		ln.cache.window++ // serial lane only: fine
+	}
+	accesses++ // package-level state mid-epoch: finding
+	ln.cache.record(ref)
+}
+
+// record is reached mid-epoch through the lane, so its store to the
+// shared total is a finding: the delta belongs on the ShardLane.
+func (c *Cache) record(ref Ref) {
+	c.total++
+	_ = ref
+}
+
+// MergeLanes folds the deltas at the epoch barrier. Its body is
+// boundary-serial (LaneSerialFuncs), so these stores are sanctioned —
+// but calling it mid-epoch (see the shard fixture) is a finding.
+func (c *Cache) MergeLanes(lanes []*ShardLane) {
+	for _, ln := range lanes {
+		c.total += ln.hits
+		ln.hits = 0
+	}
+	c.merges++
+}

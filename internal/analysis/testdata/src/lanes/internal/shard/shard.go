@@ -1,0 +1,37 @@
+// Package shard is the molvet fixture rooting the lane-confinement
+// walk: RunEpoch fans out one goroutine per lane — the shard-goroutine
+// roots the rule starts from — and commits the classic mistake of
+// merging before the barrier. The post-join merge on the serial path
+// must NOT be flagged. Edits here must be mirrored in
+// testdata/lanes.golden.
+package shard
+
+import (
+	molecular "molcache/internal/analysis/testdata/src/lanes/internal/molecular"
+)
+
+// Engine partitions refs across lanes.
+type Engine struct {
+	cache *molecular.Cache
+	lanes []*molecular.ShardLane
+}
+
+// RunEpoch fans out the epoch workers. Merging mid-epoch from inside
+// the goroutine is the seeded finding; the post-join merge is the
+// sanctioned serial path.
+func (e *Engine) RunEpoch(refs []molecular.Ref) {
+	done := make(chan struct{}, len(e.lanes))
+	for _, ln := range e.lanes {
+		go func(ln *molecular.ShardLane) {
+			for _, r := range refs {
+				ln.Access(r)
+			}
+			e.cache.MergeLanes(e.lanes) // mid-epoch merge: finding
+			done <- struct{}{}
+		}(ln)
+	}
+	for range e.lanes {
+		<-done
+	}
+	e.cache.MergeLanes(e.lanes) // after the join: serial, sanctioned
+}

@@ -1,0 +1,55 @@
+// Package obs is a molvet fixture for the lock-order rule: Server.mu
+// and State.mu are acquired in opposite orders on two paths — one
+// direct, one through a helper, exercising the transitive propagation —
+// and Reenter self-locks. The consistent lock/unlock pairs along the
+// way must not be flagged on their own. Edits here must be mirrored in
+// testdata/lockorder.golden.
+package obs
+
+import "sync"
+
+// Server owns the handler lock.
+type Server struct {
+	mu    sync.Mutex
+	state *State
+}
+
+// State owns the snapshot lock.
+type State struct {
+	mu  sync.Mutex
+	seq uint64
+}
+
+// Publish locks Server.mu then takes State.mu through bump — the
+// transitive half of the cycle.
+func (s *Server) Publish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state.bump()
+}
+
+// bump acquires State.mu.
+func (st *State) bump() {
+	st.mu.Lock()
+	st.seq++
+	st.mu.Unlock()
+}
+
+// Collect takes the locks in the opposite order: State.mu then
+// Server.mu — with Publish's order this closes the cycle.
+func (st *State) Collect(s *Server) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.mu.Lock()
+	seq := st.seq
+	s.mu.Unlock()
+	return seq
+}
+
+// Reenter deadlocks on its own: sync.Mutex is not reentrant.
+func (s *Server) Reenter() {
+	s.mu.Lock()
+	s.mu.Lock() // self-loop: finding
+	s.mu.Unlock()
+	s.mu.Unlock()
+}

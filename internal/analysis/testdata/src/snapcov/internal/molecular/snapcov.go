@@ -1,0 +1,50 @@
+// Package molecular is a molvet fixture for the snapshot-coverage
+// rule: a persisted Cache whose checkpoint closure misses two fields.
+// CaptureState delegates one read to a helper to exercise the
+// same-package call-graph closure; deleting that helper's read (or any
+// field's line in RestoreCache) reproduces the "forgot to checkpoint
+// the new field" finding the rule exists for. The mutex is auto-exempt
+// and the transient-marked index is sanctioned. Edits here must be
+// mirrored in testdata/snapcov.golden.
+package molecular
+
+import "sync"
+
+// CacheState is the persisted form.
+type CacheState struct {
+	Clock uint64
+	Hits  uint64
+	Seen  uint64
+}
+
+// Cache is the persisted struct the rule diffs against its closures.
+type Cache struct {
+	mu    sync.Mutex // auto-exempt: runtime-only synchronization
+	clock uint64
+	hits  uint64
+	// misses never made it into CaptureState or RestoreCache: the
+	// seeded capture finding.
+	misses uint64
+	// probes is read by CaptureState but never restored: the seeded
+	// restore finding.
+	probes uint64
+	// index is rebuilt from restored state, and says so.
+	//molvet:transient lookup index rebuilt from the restored clock
+	index map[uint64]int
+}
+
+// CaptureState reads the persistent fields — clock through the helper,
+// because the closure is call-graph reachability, not one body.
+func (c *Cache) CaptureState() CacheState {
+	return CacheState{Clock: c.clockNow(), Hits: c.hits, Seen: c.probes}
+}
+
+// clockNow is the capture helper CaptureState delegates to.
+func (c *Cache) clockNow() uint64 { return c.clock }
+
+// RestoreCache rebuilds a cache from st.
+func RestoreCache(st CacheState) *Cache {
+	c := &Cache{clock: st.Clock, index: map[uint64]int{}}
+	c.hits = st.Hits
+	return c
+}

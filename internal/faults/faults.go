@@ -234,12 +234,17 @@ type Stats struct {
 // single-consumer cursor: the cache asks, once per access, for the
 // events due at the current count. A nil *Injector is a valid no-op.
 type Injector struct {
+	//molvet:transient the campaign is re-supplied at restore; only the cursors persist
 	campaign Campaign
 
+	//molvet:transient derived by materialize from the campaign
 	materialized bool
-	failures     []MoleculeFailure // sorted by At
-	corruptions  []LineCorruption  // sorted by At
-	delays       []NoCDelay        // sorted by At
+	//molvet:transient derived by materialize from the campaign
+	failures []MoleculeFailure // sorted by At
+	//molvet:transient derived by materialize from the campaign
+	corruptions []LineCorruption // sorted by At
+	//molvet:transient derived by materialize from the campaign
+	delays []NoCDelay // sorted by At
 
 	failCursor    int
 	corruptCursor int

@@ -127,13 +127,15 @@ func (c Config) Name() string {
 type Cache struct {
 	cfg      Config
 	clusters []*Cluster
-	regions  map[uint16]*Region
+	//molvet:transient lookup index rebuilt from the restored regionList by RestoreCache
+	regions map[uint16]*Region
 	// regionList mirrors regions sorted by ASID, so the coherence paths
 	// (Contains/Invalidate) and the index gauges iterate deterministically
 	// without rebuilding a slice per call.
 	regionList []*Region
 	// sharedRegion caches the SharedASID region (nil until created);
 	// the lookup paths consult it on every access and every tile probe.
+	//molvet:transient memo re-derived from the restored region set
 	sharedRegion *Region
 	// molsByID indexes every molecule by its global ID (fault targeting
 	// and invariant capture).
@@ -142,11 +144,14 @@ type Cache struct {
 	// refProbe routes lookups through the original linear probe scan
 	// instead of the block index — the differential oracle the fast path
 	// is locked against (UseReferenceProbe).
+	//molvet:transient debug routing flag, not run state; set by UseReferenceProbe
 	refProbe bool
 
+	//molvet:transient derived from Config geometry at construction
 	linesPerMol uint64
 	// lineShift is log2(LineSize) — the config validator guarantees a
 	// power of two, so the access path shifts instead of dividing.
+	//molvet:transient derived from Config.LineSize at construction
 	lineShift uint
 	clock     uint64 // logical time for LRU-Direct
 	nextHome  int    // round-robin auto-placement cursor
@@ -158,27 +163,34 @@ type Cache struct {
 
 	// mesh, when attached, accounts hop latency/energy for every Ulmo
 	// sweep of a remote tile (and the response on a remote hit).
+	//molvet:transient live attachment re-wired on restore; its counters checkpoint via noc.Stats
 	mesh         *noc.Mesh
 	remoteCycles uint64
 
 	// tracer, reg and ins are the telemetry attachments (all nil by
 	// default: the access path pays two pointer checks when disabled).
+	//molvet:transient telemetry attachment re-established after restore
 	tracer *telemetry.Tracer
-	reg    *telemetry.Registry
-	ins    *instruments
+	//molvet:transient telemetry attachment; registry state checkpoints via telemetry.Snapshot
+	reg *telemetry.Registry
+	//molvet:transient derived metric cells re-created when the registry is re-attached
+	ins *instruments
 
 	// spans, when attached, traces a deterministic 1-in-N sample of the
 	// access pipeline (AttachSpans).
+	//molvet:transient telemetry attachment re-established after restore
 	spans *telemetry.SpanTracer
 
 	// lane is the serial execution stream: its destination pointers alias
 	// the cache's own accumulators, so the pipeline body (which only ever
 	// talks to a lane) writes serial accesses straight through. Shard
 	// lanes (lane.go) point the same fields at lane-local deltas instead.
+	//molvet:transient alias block rebuilt by initSerialLane from the restored accumulators
 	lane accessLane
 
 	// faults, when attached, schedules hard failures, corruptions and
 	// NoC delays against the access count; deg counts what was absorbed.
+	//molvet:transient live attachment re-wired on restore; its cursors checkpoint via faults.CursorState
 	faults *faults.Injector
 	deg    DegradationStats
 
@@ -868,6 +880,7 @@ func (c *Cache) finish(ln *accessLane, r *Region, ref trace.Ref, res *engine.Res
 		// Auto-admit failure: serial-only (shard lanes never run an
 		// access whose region is missing), so the plain ledger path —
 		// which bumps the same Total the serial lane aliases — is safe.
+		//molvet:ignore lane-confinement auto-admit failures are boundary-serial; the epoch planner cuts before any access whose region is missing
 		c.ledger.Record(ref.ASID, res.Hit)
 	}
 	ln.probes.Observe(uint64(res.TagProbes))

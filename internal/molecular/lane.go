@@ -115,6 +115,9 @@ func (c *Cache) laneTraverse(ln *accessLane, from, to int) uint64 {
 	if ln.nocStats != nil {
 		lat, err = c.mesh.TraverseInto(ln.nocStats, from, to)
 	} else {
+		// Shard lanes always carry a nocStats delta, so this branch is
+		// serial-only by construction (NewShardLane sets nocStats).
+		//molvet:ignore lane-confinement shard lanes always take the TraverseInto branch; nocStats is nil only on the serial lane
 		lat, err = c.mesh.Traverse(from, to)
 	}
 	if err != nil {

@@ -18,11 +18,14 @@ import (
 
 // Mesh is a W x H grid of nodes, one per tile, numbered row-major.
 type Mesh struct {
+	//molvet:transient construction geometry, re-supplied by New at restore
 	w, h int
 	// hopLatency is the per-link traversal cost in cycles.
+	//molvet:transient construction cost model, re-supplied by New at restore
 	hopLatency uint64
 	// hopEnergy is the per-link traversal cost in nJ per transferred
 	// line.
+	//molvet:transient construction cost model, re-supplied by New at restore
 	hopEnergy float64
 
 	hops  uint64 // total link traversals accounted
@@ -31,6 +34,7 @@ type Mesh struct {
 
 	// latHist, when a registry is attached, observes every message's
 	// transit latency (telemetry.go).
+	//molvet:transient telemetry attachment re-established after restore
 	latHist *telemetry.Histogram
 }
 

@@ -195,7 +195,9 @@ type appState struct {
 
 // Controller drives periodic resizing of a molecular cache.
 type Controller struct {
-	cfg    Config
+	//molvet:transient construction config, re-supplied at restore
+	cfg Config
+	//molvet:transient live cache reference re-wired at restore
 	cache  *molecular.Cache
 	period uint64
 	nextAt uint64
@@ -206,14 +208,18 @@ type Controller struct {
 	// Bounded decision ring (decision.go).
 	decs    []Decision
 	decHead int
-	decCap  int
-	decSeq  uint64
+	//molvet:transient ring capacity derived from Config at construction
+	decCap int
+	decSeq uint64
 
 	// tracer, decisions and spans are the telemetry attachments (nil by
 	// default; a detached controller pays one pointer check per pass).
-	tracer    *telemetry.Tracer
+	//molvet:transient telemetry attachment re-established after restore
+	tracer *telemetry.Tracer
+	//molvet:transient derived metric cells re-created when the registry is re-attached
 	decisions map[Action]*telemetry.Counter
-	spans     *telemetry.SpanTracer
+	//molvet:transient telemetry attachment re-established after restore
+	spans *telemetry.SpanTracer
 }
 
 // AttachSpans routes resize passes through st as solo "resize_tick"

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race race-shard vet lint bench bench-micro fuzz faults obs-smoke soak clean
+.PHONY: all build test race race-shard race-serve vet lint bench bench-micro fuzz faults obs-smoke soak clean
 
 all: build vet lint test
 
@@ -47,19 +47,26 @@ bench:
 race-shard:
 	$(GO) test -race -count=3 -run 'Sharded|ShardLane|AccessBatch|AssignClusters|MergedEventOrder' . ./internal/shard
 
+# Stress the serving layer under the race detector: N concurrent
+# clients against a live molcached instance, then assert the journal is
+# gap-free and the /metrics totals match (the CI race-serve job).
+race-serve:
+	$(GO) test -race -count=1 -run 'TestRaceServe' ./internal/server
+
 # Just the hot-path micro benches (fast; includes the telemetry
 # overhead comparison).
 bench-micro:
 	$(GO) test -bench 'Access|CMPStep|WorkloadGeneration' -benchmem -run=NONE .
 
-# Fuzz the trace and checkpoint decoders and the molvet directive
-# parser (FUZZTIME per target).
+# Fuzz the trace and checkpoint decoders, the molvet directive parser
+# and the molcached wire-protocol decoder (FUZZTIME per target).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzCompressedReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzParseTextLine -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz FuzzParseDirective -fuzztime $(FUZZTIME) ./internal/analysis
+	$(GO) test -run '^$$' -fuzz FuzzServerDecode -fuzztime $(FUZZTIME) ./internal/server
 
 # Start molsim with -serve, curl every introspection endpoint and assert
 # well-formed, non-empty output (the CI smoke for the live observability

@@ -155,6 +155,13 @@ func DefaultConfig() Config {
 			// and exposes only the passive ShardLane protocol, so the
 			// untracked-execution-stream argument holds everywhere else.
 			"internal/shard",
+			// The serving layer runs connection goroutines that decode
+			// and reply only; the single sim goroutine owns the cache,
+			// controller, journal and tenant table, and requests cross
+			// between them on channels. cmd/molcached itself only makes
+			// the signal channel its main loop blocks on.
+			"internal/server",
+			"cmd/molcached",
 		},
 
 		LaneRootPackages: []string{"internal/shard"},
@@ -230,6 +237,7 @@ func DefaultConfig() Config {
 			"internal/obs",
 			"internal/telemetry",
 			"internal/shard",
+			"internal/server",
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -207,6 +208,66 @@ func TestServerEndpoints(t *testing.T) {
 	// pprof is mounted.
 	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestTenantsEndpoint(t *testing.T) {
+	c, ctrl, reg := simWorld(t)
+	pub := obs.NewPublisher()
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{Publisher: pub, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := srv.URL()
+
+	type page struct {
+		At      uint64           `json:"at"`
+		Tenants []obs.TenantInfo `json:"tenants"`
+	}
+	// Before the first publish — and after a publish with no tenant
+	// table — the payload stays well-formed: "tenants":[] , never null.
+	for _, stage := range []string{"pre-publish", "no-tenants"} {
+		code, body := get(t, base+"/tenants")
+		if code != http.StatusOK {
+			t.Fatalf("%s: /tenants status %d", stage, code)
+		}
+		var empty page
+		if err := json.Unmarshal([]byte(body), &empty); err != nil {
+			t.Fatalf("%s: /tenants not JSON: %v\n%s", stage, err, body)
+		}
+		if empty.Tenants == nil || len(empty.Tenants) != 0 {
+			t.Fatalf("%s: /tenants not an empty list: %s", stage, body)
+		}
+		pub.Publish(obs.Collect(c, ctrl, reg))
+	}
+
+	st := obs.Collect(c, ctrl, reg)
+	st.Tenants = []obs.TenantInfo{
+		{Name: "web", ASID: 1, Goal: 0.05, LineFactor: 2, Keys: 41,
+			Molecules: 9, Accesses: 2000, MissRate: 0.03, WindowMissRate: 0.02, SLOMet: true},
+		{Name: "scan", ASID: 2, Goal: 0.4, Keys: 8192, Accesses: 4000,
+			MissRate: 0.5, WindowMissRate: 0.55},
+	}
+	pub.Publish(st)
+	code, body := get(t, base+"/tenants")
+	if code != http.StatusOK {
+		t.Fatalf("/tenants status %d", code)
+	}
+	var got page
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/tenants not JSON: %v\n%s", err, body)
+	}
+	if got.At != st.At {
+		t.Errorf("/tenants at = %d, want %d", got.At, st.At)
+	}
+	if !reflect.DeepEqual(got.Tenants, st.Tenants) {
+		t.Errorf("/tenants round trip:\ngot  %+v\nwant %+v", got.Tenants, st.Tenants)
+	}
+	// The tenant table must not leak into the /regions payload (it is
+	// the /tenants endpoint's own view).
+	if _, body := get(t, base+"/regions"); strings.Contains(body, `"slo_met"`) {
+		t.Error("/regions leaked the tenant table")
 	}
 }
 

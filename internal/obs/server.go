@@ -41,6 +41,7 @@ func NewMux(opts Options) *http.ServeMux {
 	mux.HandleFunc("/healthz", healthzHandler(opts))
 	mux.HandleFunc("/metrics", metricsHandler(opts))
 	mux.HandleFunc("/regions", regionsHandler(opts))
+	mux.HandleFunc("/tenants", tenantsHandler(opts))
 	mux.HandleFunc("/decisions", decisionsHandler(opts))
 	mux.HandleFunc("/events", eventsHandler(opts))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -61,6 +62,7 @@ func indexHandler(w http.ResponseWriter, r *http.Request) {
 
   /metrics      Prometheus text exposition (counters, gauges, histograms)
   /regions      per-ASID region topology, occupancy, miss rate vs goal (JSON)
+  /tenants      molcached tenant table: name-to-ASID, SLO status (JSON)
   /decisions    resize controller decision log (JSON)
   /events       live telemetry event stream (Server-Sent Events)
   /healthz      liveness and staleness: snapshot age, event-tap drops (JSON)
@@ -133,6 +135,24 @@ func regionsHandler(opts Options) http.HandlerFunc {
 			st = &clone
 		}
 		writeJSON(w, st)
+	}
+}
+
+func tenantsHandler(opts Options) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := opts.Publisher.Latest()
+		if st == nil {
+			st = &State{}
+		}
+		tenants := st.Tenants
+		if tenants == nil {
+			tenants = []TenantInfo{}
+		}
+		resp := struct {
+			At      uint64       `json:"at"`
+			Tenants []TenantInfo `json:"tenants"`
+		}{At: st.At, Tenants: tenants}
+		writeJSON(w, resp)
 	}
 }
 

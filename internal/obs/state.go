@@ -55,10 +55,29 @@ type RegionInfo struct {
 	LastResize *resize.Decision `json:"last_resize,omitempty"`
 }
 
+// TenantInfo is the published view of one molcached tenant: the
+// name-to-ASID binding, its SLO goal, stored-key count and the region
+// stats that tell whether the goal is being met. The serving layer
+// (internal/server) fills these in after Collect; simulators without a
+// tenant table leave the slice nil and /tenants serves an empty list.
+type TenantInfo struct {
+	Name           string  `json:"name"`
+	ASID           uint16  `json:"asid"`
+	Goal           float64 `json:"goal"`
+	LineFactor     int     `json:"line_factor,omitempty"`
+	Keys           int     `json:"keys"`
+	Molecules      int     `json:"molecules"`
+	Accesses       uint64  `json:"accesses"`
+	MissRate       float64 `json:"miss_rate"`
+	WindowMissRate float64 `json:"window_miss_rate"`
+	// SLOMet reports whether the windowed miss rate is within the goal.
+	SLOMet bool `json:"slo_met"`
+}
+
 // State is one immutable snapshot of the simulation, built on the sim
 // thread by Collect and served read-only by the HTTP handlers. The
-// decision log is kept out of the /regions payload (it has its own
-// endpoint) via the json:"-" tag.
+// decision log and tenant table are kept out of the /regions payload
+// (each has its own endpoint) via the json:"-" tag.
 type State struct {
 	Cache         string       `json:"cache,omitempty"`
 	At            uint64       `json:"at"`
@@ -68,6 +87,7 @@ type State struct {
 	RemoteCycles  uint64       `json:"remote_cycles"`
 	Regions       []RegionInfo `json:"regions"`
 
+	Tenants        []TenantInfo       `json:"-"`
 	Decisions      []resize.Decision  `json:"-"`
 	DecisionsTotal uint64             `json:"-"`
 	Metrics        telemetry.Snapshot `json:"-"`

@@ -263,6 +263,28 @@ func (c *Controller) Goal(asid uint16) float64 {
 	return c.cfg.DefaultGoal
 }
 
+// SetGoal overrides the miss-rate goal for asid, taking effect at the
+// next resize evaluation. A zero goal removes the override so Goal
+// falls back to DefaultGoal. The Goals map is cloned on write so a
+// caller-shared Config map is never mutated; the new map is what
+// Config() (and therefore a checkpoint) observes afterwards.
+func (c *Controller) SetGoal(asid uint16, goal float64) error {
+	if goal < 0 || goal >= 1 {
+		return fmt.Errorf("resize: goal %v for ASID %d outside [0,1)", goal, asid)
+	}
+	goals := make(map[uint16]float64, len(c.cfg.Goals)+1)
+	for k, v := range c.cfg.Goals {
+		goals[k] = v
+	}
+	if goal == 0 {
+		delete(goals, asid)
+	} else {
+		goals[asid] = goal
+	}
+	c.cfg.Goals = goals
+	return nil
+}
+
 // Events returns the decision log.
 func (c *Controller) Events() []Event { return c.events }
 

@@ -72,6 +72,37 @@ func TestGoalOverride(t *testing.T) {
 	}
 }
 
+func TestSetGoal(t *testing.T) {
+	shared := map[uint16]float64{3: 0.25}
+	ctrl := MustNew(newCache(t), Config{
+		DefaultGoal: 0.1,
+		Goals:       shared,
+	})
+	if err := ctrl.SetGoal(3, 0.4); err != nil {
+		t.Fatalf("SetGoal: %v", err)
+	}
+	if ctrl.Goal(3) != 0.4 {
+		t.Errorf("goal after SetGoal: %v, want 0.4", ctrl.Goal(3))
+	}
+	if shared[3] != 0.25 {
+		t.Errorf("caller map mutated: %v", shared)
+	}
+	if got := ctrl.Config().Goals[3]; got != 0.4 {
+		t.Errorf("Config().Goals[3] = %v, want 0.4 (checkpoint must see the update)", got)
+	}
+	if err := ctrl.SetGoal(3, 0); err != nil {
+		t.Fatalf("SetGoal(0): %v", err)
+	}
+	if ctrl.Goal(3) != 0.1 {
+		t.Errorf("goal after clearing override: %v, want DefaultGoal", ctrl.Goal(3))
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if err := ctrl.SetGoal(5, bad); err == nil {
+			t.Errorf("SetGoal(%v): want error", bad)
+		}
+	}
+}
+
 // A thrashing workload (working set far beyond the partition) must
 // trigger emergency chunk growth.
 func TestEmergencyGrowthOnThrash(t *testing.T) {

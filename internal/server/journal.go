@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"molcache/internal/engine"
+	"molcache/internal/faults"
+	"molcache/internal/molecular"
+	"molcache/internal/resize"
+	"molcache/internal/snapshot"
+	"molcache/internal/trace"
+)
+
+// The access journal is a stream of length-prefixed MOLC1 containers
+// (snapshot.FrameWriter), one frame per record. Frame kinds are named
+// by their single section:
+//
+//	config  genesis record: the molecular/resize configurations, fault
+//	        campaign, address-mapping width and tracer ring size — a
+//	        journal is self-describing, replayable with no side channel;
+//	tenant  one TENANT admin action (region creation or goal update),
+//	        stamped with the access count it happened at;
+//	batch   one admitted access run: the refs in service order plus the
+//	        engine Results the live server computed for them.
+//
+// Journaling Results makes the differential oracle per-access: replay
+// recomputes every Result offline and any divergence names the exact
+// sequence number, not just a drifted end state.
+const (
+	frameConfig = "config"
+	frameTenant = "tenant"
+	frameBatch  = "batch"
+)
+
+// JournalConfig is the genesis frame: everything an offline replayer
+// needs to rebuild the server's simulator from scratch.
+type JournalConfig struct {
+	Molecular molecular.Config `json:"molecular"`
+	Resize    resize.Config    `json:"resize"`
+	Faults    faults.Campaign  `json:"faults"`
+	AddrBits  uint             `json:"addr_bits"`
+	EventRing int              `json:"event_ring"`
+}
+
+// TenantRecord journals one TENANT admin action.
+type TenantRecord struct {
+	// At is the server's access count when the action ran (the gap
+	// check: it must equal the preceding batch's last sequence number).
+	At   uint64 `json:"at"`
+	ASID uint16 `json:"asid"`
+	Name string `json:"name"`
+	// Goal is the tenant's miss-rate SLO goal after the action.
+	Goal float64 `json:"goal"`
+	// LineFactor is the region's line factor (creation only).
+	LineFactor int `json:"line_factor,omitempty"`
+	// Update marks a goal update on an existing tenant; the region is
+	// created only when Update is false.
+	Update bool `json:"update,omitempty"`
+}
+
+// BatchRecord journals one admitted access run.
+type BatchRecord struct {
+	// First is the 1-based sequence number of Refs[0]; a gap-free
+	// journal has First == previous last + 1.
+	First   uint64          `json:"first"`
+	Refs    []trace.Ref     `json:"refs"`
+	Results []engine.Result `json:"results"`
+}
+
+// JournalError is the typed error for journal structure violations:
+// corrupt frames, sequence gaps, config mismatches.
+type JournalError struct {
+	Seq    uint64
+	Reason string
+}
+
+func (e *JournalError) Error() string {
+	return fmt.Sprintf("server: journal at seq %d: %s", e.Seq, e.Reason)
+}
+
+func errJournal(seq uint64, format string, args ...any) *JournalError {
+	return &JournalError{Seq: seq, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Frame is one decoded journal record; exactly one field is non-nil.
+type Frame struct {
+	Config *JournalConfig
+	Tenant *TenantRecord
+	Batch  *BatchRecord
+}
+
+func decodeFrame(sections []snapshot.Section) (Frame, error) {
+	if len(sections) != 1 {
+		return Frame{}, errJournal(0, "frame has %d sections, want 1", len(sections))
+	}
+	s := sections[0]
+	var f Frame
+	var err error
+	switch s.Name {
+	case frameConfig:
+		f.Config = new(JournalConfig)
+		err = json.Unmarshal(s.Payload, f.Config)
+	case frameTenant:
+		f.Tenant = new(TenantRecord)
+		err = json.Unmarshal(s.Payload, f.Tenant)
+	case frameBatch:
+		f.Batch = new(BatchRecord)
+		err = json.Unmarshal(s.Payload, f.Batch)
+	default:
+		return Frame{}, errJournal(0, "unknown frame kind %q", s.Name)
+	}
+	if err != nil {
+		return Frame{}, errJournal(0, "decode %s frame: %v", s.Name, err)
+	}
+	return f, nil
+}
+
+func encodeFrame(kind string, v any) ([]snapshot.Section, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("server: encode %s frame: %w", kind, err)
+	}
+	return []snapshot.Section{{Name: kind, Payload: payload}}, nil
+}
+
+// Journal is the server's append-side handle: buffered writes, access
+// sequence accounting, explicit Sync.
+type Journal struct {
+	f      *os.File
+	bw     *bufio.Writer
+	fw     *snapshot.FrameWriter
+	seq    uint64
+	frames uint64
+}
+
+func (j *Journal) writeFrame(kind string, v any) error {
+	sections, err := encodeFrame(kind, v)
+	if err != nil {
+		return err
+	}
+	if err := j.fw.WriteFrame(sections); err != nil {
+		return err
+	}
+	j.frames++
+	return nil
+}
+
+// CreateJournal creates (truncating) the journal at path and writes the
+// genesis config frame.
+func CreateJournal(path string, cfg JournalConfig) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: create journal: %w", err)
+	}
+	j := &Journal{f: f, bw: bufio.NewWriter(f)}
+	j.fw = snapshot.NewFrameWriter(j.bw)
+	if err := j.writeFrame(frameConfig, cfg); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournal opens an existing journal for appending (the warm-restart
+// path): it scans every frame to recover the genesis config and the
+// last access sequence number, then positions the write cursor at the
+// end. Any corruption or sequence gap is a typed error.
+func OpenJournal(path string) (*Journal, JournalConfig, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, JournalConfig{}, fmt.Errorf("server: open journal: %w", err)
+	}
+	cfg, frames, err := ReadJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, JournalConfig{}, err
+	}
+	var seq uint64
+	for _, fr := range frames {
+		if fr.Batch != nil {
+			seq += uint64(len(fr.Batch.Refs))
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, JournalConfig{}, fmt.Errorf("server: seek journal end: %w", err)
+	}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), seq: seq, frames: uint64(len(frames))}
+	j.fw = snapshot.NewFrameWriter(j.bw)
+	return j, cfg, nil
+}
+
+// Tenant appends a tenant frame.
+func (j *Journal) Tenant(rec TenantRecord) error {
+	if j == nil {
+		return nil
+	}
+	rec.At = j.seq
+	return j.writeFrame(frameTenant, rec)
+}
+
+// Batch appends one admitted access run with its live Results.
+func (j *Journal) Batch(refs []trace.Ref, results []engine.Result) error {
+	if j == nil || len(refs) == 0 {
+		return nil
+	}
+	rec := BatchRecord{First: j.seq + 1, Refs: refs, Results: results}
+	if err := j.writeFrame(frameBatch, rec); err != nil {
+		return err
+	}
+	j.seq += uint64(len(refs))
+	return nil
+}
+
+// Seq returns the last journaled access sequence number.
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq
+}
+
+// Frames returns the number of frames written or scanned.
+func (j *Journal) Frames() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.frames
+}
+
+// Sync flushes buffered frames and fsyncs the file.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.bw.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReadJournal decodes every frame of a journal stream, verifying frame
+// order and sequence continuity (the race-serve gap check reuses this).
+func ReadJournal(r io.Reader) (JournalConfig, []Frame, error) {
+	var cfg JournalConfig
+	var frames []Frame
+	var seq uint64
+	fr := snapshot.NewFrameReader(bufio.NewReader(r))
+	for i := 0; ; i++ {
+		sections, err := fr.ReadFrame()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return cfg, frames, errJournal(seq, "frame %d: %v", i, err)
+		}
+		frame, err := decodeFrame(sections)
+		if err != nil {
+			return cfg, frames, err
+		}
+		switch {
+		case frame.Config != nil:
+			if i != 0 {
+				return cfg, frames, errJournal(seq, "config frame at position %d, want 0", i)
+			}
+			cfg = *frame.Config
+		case i == 0:
+			return cfg, frames, errJournal(0, "journal does not start with a config frame")
+		case frame.Tenant != nil:
+			if frame.Tenant.At != seq {
+				return cfg, frames, errJournal(seq, "tenant frame stamped at %d", frame.Tenant.At)
+			}
+		case frame.Batch != nil:
+			if frame.Batch.First != seq+1 {
+				return cfg, frames, errJournal(seq, "batch starts at %d, want %d (gap)", frame.Batch.First, seq+1)
+			}
+			if len(frame.Batch.Refs) != len(frame.Batch.Results) {
+				return cfg, frames, errJournal(seq, "batch has %d refs but %d results",
+					len(frame.Batch.Refs), len(frame.Batch.Results))
+			}
+			seq += uint64(len(frame.Batch.Refs))
+		}
+		frames = append(frames, frame)
+	}
+	if len(frames) == 0 {
+		return cfg, frames, errJournal(0, "journal is empty")
+	}
+	return cfg, frames, nil
+}
+
+// ReadJournalFile is ReadJournal over a file.
+func ReadJournalFile(path string) (JournalConfig, []Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return JournalConfig{}, nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

@@ -1,0 +1,816 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+
+	"io"
+
+	"molcache"
+	"molcache/internal/addr"
+	"molcache/internal/faults"
+	"molcache/internal/molecular"
+	"molcache/internal/obs"
+	"molcache/internal/resize"
+	"molcache/internal/snapshot"
+	"molcache/internal/telemetry"
+	"molcache/internal/trace"
+)
+
+// Config parameterizes a molcached server.
+type Config struct {
+	// Listen is the TCP address of the key/value protocol ("127.0.0.1:0"
+	// picks an ephemeral port).
+	Listen string
+	// ObsListen mounts the internal/obs introspection server when
+	// non-empty (/metrics, /regions, /tenants, /healthz, ...).
+	ObsListen string
+
+	// Molecular and Resize configure the simulator the server fronts.
+	Molecular molecular.Config
+	Resize    resize.Config
+	// Faults optionally schedules a fault campaign (keyed to the access
+	// count, so journal replay re-delivers it identically).
+	Faults faults.Campaign
+
+	// Shards runs the access pipeline epoch-parallel over cluster
+	// shards (default 1; clamped to [1, clusters] by the engine).
+	Shards int
+	// BatchMax bounds how many queued requests fold into one simulator
+	// batch (default 256).
+	BatchMax int
+	// AddrBits is each tenant's address-space width: keys hash into
+	// [0, 2^AddrBits) within a per-ASID base (default 26, max 36).
+	AddrBits uint
+	// EventRing sizes the telemetry tracer ring (default 4096). The
+	// replayer must use the same size for event-stream identity.
+	EventRing int
+	// PublishEvery refreshes the obs snapshot every N accesses
+	// (default 8192; the sim loop also publishes at boot and shutdown).
+	PublishEvery uint64
+	// MaxTenants bounds TENANT registrations (default 1024).
+	MaxTenants int
+
+	// JournalPath enables the MOLC1-framed access journal (the
+	// differential oracle's input). Empty disables journaling.
+	JournalPath string
+	// CheckpointPath enables checkpoint-on-shutdown and warm restore
+	// on boot. Empty disables both.
+	CheckpointPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 256
+	}
+	if c.AddrBits == 0 {
+		c.AddrBits = 26
+	}
+	if c.EventRing == 0 {
+		c.EventRing = 4096
+	}
+	if c.PublishEvery == 0 {
+		c.PublishEvery = 8192
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 1024
+	}
+	return c
+}
+
+// asidShift places each tenant's address space at asid<<36, matching
+// the workload-generator convention, so AddrBits may be at most 36.
+const asidShift = 36
+
+// blockAddr maps a tenant's key to its line-aligned block address:
+// FNV-64a of the key masked to the tenant's address-space width, offset
+// into the per-ASID base. Deterministic, so the journal needs only the
+// resulting refs.
+func blockAddr(asid uint16, key string, addrBits uint, lineSize uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	a := uint64(asid)<<asidShift | (h.Sum64() & addr.Mask(addrBits))
+	return addr.LineAlign(a, lineSize)
+}
+
+// Tenant is one registered tenant: a name bound to an ASID-backed
+// region with an SLO goal.
+type Tenant struct {
+	Name       string  `json:"name"`
+	ASID       uint16  `json:"asid"`
+	Goal       float64 `json:"goal"`
+	LineFactor int     `json:"line_factor,omitempty"`
+}
+
+// request crosses from a connection goroutine to the sim goroutine;
+// the response comes back on the buffered reply channel.
+type request struct {
+	req  Request
+	resp chan response
+}
+
+type response struct {
+	err   *ProtocolError
+	asid  uint16
+	hit   bool
+	found bool
+	value []byte
+}
+
+// Server is a running molcached instance.
+type Server struct {
+	cfg Config
+
+	ln     net.Listener
+	obsSrv *obs.Server
+
+	// Sim-goroutine-owned state: the simulator, engine, journal, value
+	// store and tenant table. Connection goroutines reach it only
+	// through reqCh (the molvet-fixture-pinned contract).
+	sim      *molcache.Simulator
+	eng      *molcache.ShardedEngine
+	journal  *Journal
+	store    map[string]map[string][]byte
+	tenants  map[string]*Tenant
+	byASID   map[uint16]*Tenant
+	nextASID uint16
+	pubAt    uint64
+
+	tr      *telemetry.Tracer
+	reg     *telemetry.Registry // sim-plane: attached, replay-comparable
+	servReg *telemetry.Registry // server-plane: request/journal counters
+	tap     *obs.EventTap
+	pub     *obs.Publisher
+
+	reqCh  chan *request
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+	closed bool
+
+	warm       bool
+	restoreErr error
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// checkpoint section names for the server's own MOLC1 container: the
+// tenant table + sequence state, the value store, and the embedded
+// simulator checkpoint (itself a MOLC1 container).
+const (
+	sectionServer = "server"
+	sectionStore  = "store"
+	sectionSim    = "sim"
+)
+
+// serverState is the "server" checkpoint section.
+type serverState struct {
+	NextASID uint16   `json:"next_asid"`
+	Seq      uint64   `json:"seq"`
+	Tenants  []Tenant `json:"tenants"`
+}
+
+func (s *Server) journalConfig() JournalConfig {
+	return JournalConfig{
+		Molecular: s.cfg.Molecular,
+		Resize:    s.cfg.Resize,
+		Faults:    s.cfg.Faults,
+		AddrBits:  s.cfg.AddrBits,
+		EventRing: s.cfg.EventRing,
+	}
+}
+
+// New builds and starts a server: warm-restores from CheckpointPath
+// when a checkpoint exists (falling back to a cold start on corruption,
+// counted on molcache_server_restore_failures), opens or creates the
+// journal, mounts the obs plane, and begins accepting connections.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.AddrBits > asidShift {
+		return nil, fmt.Errorf("server: AddrBits %d exceeds the %d-bit per-tenant space", cfg.AddrBits, asidShift)
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    make(map[string]map[string][]byte),
+		tenants:  make(map[string]*Tenant),
+		byASID:   make(map[uint16]*Tenant),
+		nextASID: 1,
+		tr:       telemetry.NewTracer(cfg.EventRing),
+		reg:      telemetry.NewRegistry(),
+		servReg:  telemetry.NewRegistry(),
+		pub:      obs.NewPublisher(),
+		reqCh:    make(chan *request, 1024),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.tap = obs.NewEventTap(nil)
+	s.tr.SetSink(s.tap)
+
+	if err := s.boot(); err != nil {
+		return nil, err
+	}
+
+	if cfg.ObsListen != "" {
+		srv, err := obs.Serve(cfg.ObsListen, obs.Options{
+			Publisher: s.pub,
+			Registry:  s.reg,
+			Tap:       s.tap,
+		})
+		if err != nil {
+			s.journal.Close()
+			return nil, err
+		}
+		s.obsSrv = srv
+	}
+
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		s.obsSrv.Close()
+		s.journal.Close()
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Listen, err)
+	}
+	s.ln = ln
+
+	go s.simLoop()
+	go s.acceptLoop()
+	return s, nil
+}
+
+// boot builds the simulator (warm or cold) and the journal.
+func (s *Server) boot() error {
+	if s.cfg.CheckpointPath != "" {
+		if _, err := os.Stat(s.cfg.CheckpointPath); err == nil {
+			if err := s.restore(); err == nil {
+				return nil
+			} else {
+				s.restoreErr = err
+				s.servReg.Counter("molcache_server_restore_failures").Inc()
+			}
+		}
+	}
+	return s.coldStart()
+}
+
+func (s *Server) coldStart() error {
+	sim, err := molcache.NewSimulator(s.cfg.Molecular, s.cfg.Resize)
+	if err != nil {
+		return err
+	}
+	sim.AttachTelemetry(s.tr, s.reg)
+	if err := sim.InjectFaults(s.cfg.Faults); err != nil {
+		return err
+	}
+	s.sim = sim
+	s.eng = sim.Sharded(s.cfg.Shards)
+	if s.cfg.JournalPath != "" {
+		j, err := CreateJournal(s.cfg.JournalPath, s.journalConfig())
+		if err != nil {
+			return err
+		}
+		s.journal = j
+	}
+	return nil
+}
+
+// restore rebuilds the full server state from the checkpoint container
+// and re-opens the journal for appending, verifying the journal's tail
+// sequence matches the checkpointed one (a mismatched pair would break
+// the replay oracle's gap-free guarantee).
+func (s *Server) restore() error {
+	data, err := os.ReadFile(s.cfg.CheckpointPath)
+	if err != nil {
+		return err
+	}
+	sections, err := snapshot.Decode(data)
+	if err != nil {
+		return err
+	}
+	var st serverState
+	payload, err := snapshot.Find(sections, sectionServer)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return &snapshot.Error{Section: sectionServer, Reason: err.Error()}
+	}
+	var store map[string]map[string][]byte
+	if payload, err = snapshot.Find(sections, sectionStore); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, &store); err != nil {
+		return &snapshot.Error{Section: sectionStore, Reason: err.Error()}
+	}
+	simBytes, err := snapshot.Find(sections, sectionSim)
+	if err != nil {
+		return err
+	}
+	sim, err := molcache.RestoreSimulatorBytes(simBytes, s.tr, s.reg)
+	if err != nil {
+		return err
+	}
+
+	var j *Journal
+	if s.cfg.JournalPath != "" {
+		var jcfg JournalConfig
+		j, jcfg, err = OpenJournal(s.cfg.JournalPath)
+		if err != nil {
+			return err
+		}
+		if j.Seq() != st.Seq {
+			j.Close()
+			return errJournal(j.Seq(), "journal tail does not match checkpoint seq %d", st.Seq)
+		}
+		if !reflect.DeepEqual(jcfg, s.journalConfig()) {
+			j.Close()
+			return errJournal(0, "journal genesis config differs from the server configuration")
+		}
+	}
+
+	s.sim = sim
+	s.eng = sim.Sharded(s.cfg.Shards)
+	s.journal = j
+	s.nextASID = st.NextASID
+	if store == nil {
+		store = make(map[string]map[string][]byte)
+	}
+	s.store = store
+	for i := range st.Tenants {
+		t := st.Tenants[i]
+		if s.store[t.Name] == nil {
+			s.store[t.Name] = make(map[string][]byte)
+		}
+		tc := t
+		s.tenants[t.Name] = &tc
+		s.byASID[t.ASID] = &tc
+	}
+	s.warm = true
+	return nil
+}
+
+// writeCheckpoint packs tenant table + store + simulator into one
+// crash-safe MOLC1 container. Runs only after the sim loop has drained.
+func (s *Server) writeCheckpoint() error {
+	simBytes, err := s.sim.EncodeCheckpoint()
+	if err != nil {
+		return err
+	}
+	tenants := make([]Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, *t)
+	}
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].ASID < tenants[j].ASID })
+	st := serverState{NextASID: s.nextASID, Seq: s.journal.Seq(), Tenants: tenants}
+	stBytes, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	storeBytes, err := json.Marshal(s.store)
+	if err != nil {
+		return err
+	}
+	data, err := snapshot.Encode([]snapshot.Section{
+		{Name: sectionServer, Payload: stBytes},
+		{Name: sectionStore, Payload: storeBytes},
+		{Name: sectionSim, Payload: simBytes},
+	})
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteRaw(s.cfg.CheckpointPath, data)
+}
+
+// Addr returns the bound key/value protocol address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ObsURL returns the introspection server's base URL ("" when not
+// mounted).
+func (s *Server) ObsURL() string {
+	if s.obsSrv == nil {
+		return ""
+	}
+	return s.obsSrv.URL()
+}
+
+// WarmStarted reports whether the server restored from a checkpoint.
+func (s *Server) WarmStarted() bool { return s.warm }
+
+// RestoreErr returns the absorbed restore failure behind a cold-start
+// fallback (nil on a clean cold or warm boot).
+func (s *Server) RestoreErr() error { return s.restoreErr }
+
+// Sim exposes the simulator for oracle comparison. Callers must only
+// touch it after Shutdown has returned (the sim goroutine owns it
+// while the server runs).
+func (s *Server) Sim() *molcache.Simulator { return s.sim }
+
+// Tracer returns the sim-plane event tracer (same post-Shutdown rule).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tr }
+
+// Registry returns the sim-plane metrics registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// JournalSeq returns the last journaled access sequence number (only
+// stable after Shutdown).
+func (s *Server) JournalSeq() uint64 { return s.journal.Seq() }
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.servReg.Counter("molcache_server_connections_total").Inc()
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) removeConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func writeLine(bw *bufio.Writer, line string) error {
+	if _, err := bw.WriteString(line); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeErr(bw *bufio.Writer, pe *ProtocolError) error {
+	return writeLine(bw, "ERR "+pe.Code+" "+pe.Detail)
+}
+
+func hitToken(hit bool) string {
+	if hit {
+		return "HIT"
+	}
+	return "MISS"
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.removeConn(c)
+	defer c.Close()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				s.servReg.Counter("molcache_server_protocol_errors_total").Inc()
+				writeErr(bw, pe)
+				if pe.Fatal() {
+					return
+				}
+				continue
+			}
+			return
+		}
+		s.servReg.Counter("molcache_server_requests_total{verb=" + string(req.Verb) + "}").Inc()
+		switch req.Verb {
+		case VerbPing:
+			if writeLine(bw, "PONG") != nil {
+				return
+			}
+			continue
+		case VerbQuit:
+			writeLine(bw, "BYE")
+			return
+		}
+		r := &request{req: req, resp: make(chan response, 1)}
+		select {
+		case s.reqCh <- r:
+		case <-s.stopCh:
+			writeErr(bw, errProto(ErrShutdown, "server is shutting down"))
+			return
+		}
+		resp := <-r.resp
+		if resp.err != nil {
+			if writeErr(bw, resp.err) != nil {
+				return
+			}
+			continue
+		}
+		var werr error
+		switch req.Verb {
+		case VerbTenant:
+			werr = writeLine(bw, fmt.Sprintf("OK %d", resp.asid))
+		case VerbGet:
+			if !resp.found {
+				werr = writeLine(bw, "NOTFOUND")
+				break
+			}
+			if _, werr = fmt.Fprintf(bw, "VALUE %s %d\r\n", hitToken(resp.hit), len(resp.value)); werr != nil {
+				break
+			}
+			if _, werr = bw.Write(resp.value); werr != nil {
+				break
+			}
+			if _, werr = bw.WriteString("\r\n"); werr != nil {
+				break
+			}
+			werr = bw.Flush()
+		case VerbSet:
+			werr = writeLine(bw, "STORED "+hitToken(resp.hit))
+		case VerbDel:
+			if !resp.found {
+				werr = writeLine(bw, "NOTFOUND")
+				break
+			}
+			werr = writeLine(bw, "DELETED "+hitToken(resp.hit))
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// simLoop is the single goroutine that owns the simulator. It drains
+// queued requests into bounded batches, applies store mutations and
+// admits accesses in arrival order, runs one engine batch per admitted
+// run, journals it, then replies.
+func (s *Server) simLoop() {
+	defer close(s.doneCh)
+	s.publish()
+	batch := make([]*request, 0, s.cfg.BatchMax)
+	for {
+		r, ok := <-s.reqCh
+		if !ok {
+			break
+		}
+		batch = append(batch[:0], r)
+		draining := true
+		for draining && len(batch) < s.cfg.BatchMax {
+			select {
+			case r2, ok2 := <-s.reqCh:
+				if !ok2 {
+					draining = false
+					break
+				}
+				batch = append(batch, r2)
+			default:
+				draining = false
+			}
+		}
+		s.process(batch)
+		if at := s.sim.Cache.Addresses(); at-s.pubAt >= s.cfg.PublishEvery {
+			s.publish()
+		}
+	}
+	s.publish()
+}
+
+// process services one batch of requests in order. TENANT admin actions
+// are run boundaries: the accesses before one are admitted to the
+// engine (and journaled) before the tenant table changes.
+func (s *Server) process(batch []*request) {
+	var refs []trace.Ref
+	var pend []*request
+	var resps []response
+	lineSize := s.sim.Cache.Config().LineSize
+
+	flush := func() {
+		if len(refs) == 0 {
+			return
+		}
+		results := s.eng.AccessBatch(refs)
+		if err := s.journal.Batch(refs, results); err != nil {
+			// A dead journal invalidates the oracle, not the service:
+			// count it and keep serving.
+			s.servReg.Counter("molcache_server_journal_errors_total").Inc()
+		}
+		s.servReg.Counter("molcache_server_accesses_total").Add(uint64(len(refs)))
+		s.servReg.Counter("molcache_server_batches_total").Inc()
+		for i, pr := range pend {
+			resp := resps[i]
+			resp.hit = results[i].Hit
+			pr.resp <- resp
+		}
+		refs = refs[:0]
+		pend = pend[:0]
+		resps = resps[:0]
+	}
+
+	for _, r := range batch {
+		req := r.req
+		if req.Verb == VerbTenant {
+			flush()
+			r.resp <- s.handleTenant(req)
+			// Tenant admin ops are rare and observable: republish so
+			// /tenants reflects the change immediately rather than at
+			// the next PublishEvery boundary.
+			s.publish()
+			continue
+		}
+		t, ok := s.tenants[req.Tenant]
+		if !ok {
+			r.resp <- response{err: errProto(ErrUnknownTenant, "tenant %q is not registered", req.Tenant)}
+			continue
+		}
+		keys := s.store[req.Tenant]
+		var resp response
+		switch req.Verb {
+		case VerbGet:
+			v, present := keys[req.Key]
+			if !present {
+				s.servReg.Counter("molcache_server_notfound_total").Inc()
+				r.resp <- response{}
+				continue
+			}
+			resp = response{found: true, value: v}
+		case VerbSet:
+			keys[req.Key] = req.Value
+			resp = response{found: true}
+		case VerbDel:
+			if _, present := keys[req.Key]; !present {
+				s.servReg.Counter("molcache_server_notfound_total").Inc()
+				r.resp <- response{}
+				continue
+			}
+			delete(keys, req.Key)
+			resp = response{found: true}
+		}
+		refs = append(refs, trace.Ref{
+			Addr: blockAddr(t.ASID, req.Key, s.cfg.AddrBits, lineSize),
+			ASID: t.ASID,
+			Kind: req.Verb.RefKind(),
+		})
+		pend = append(pend, r)
+		resps = append(resps, resp)
+	}
+	flush()
+}
+
+// handleTenant registers a tenant (creating its region) or updates an
+// existing tenant's goal. Runs on the sim goroutine.
+func (s *Server) handleTenant(req Request) response {
+	if t, ok := s.tenants[req.Tenant]; ok {
+		if req.LineFactor != 0 && req.LineFactor != t.LineFactor {
+			return response{err: errProto(ErrTenantConflict,
+				"tenant %q has line factor %d, fixed for the region's lifetime", req.Tenant, t.LineFactor)}
+		}
+		if req.Goal != t.Goal {
+			if err := s.sim.Controller.SetGoal(t.ASID, req.Goal); err != nil {
+				return response{err: errProto(ErrBadGoal, "%v", err)}
+			}
+			t.Goal = req.Goal
+			if err := s.journal.Tenant(TenantRecord{
+				ASID: t.ASID, Name: t.Name, Goal: t.Goal, Update: true,
+			}); err != nil {
+				s.servReg.Counter("molcache_server_journal_errors_total").Inc()
+			}
+		}
+		return response{asid: t.ASID}
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return response{err: errProto(ErrTenantLimit, "tenant limit %d reached", s.cfg.MaxTenants)}
+	}
+	asid := s.nextASID
+	_, err := s.sim.Cache.CreateRegion(asid, molecular.RegionOptions{
+		HomeCluster: -1, HomeTile: -1, LineFactor: req.LineFactor,
+	})
+	if err != nil {
+		return response{err: errProto(ErrRegionAlloc, "%v", err)}
+	}
+	if err := s.sim.Controller.SetGoal(asid, req.Goal); err != nil {
+		return response{err: errProto(ErrBadGoal, "%v", err)}
+	}
+	s.nextASID++
+	t := &Tenant{Name: req.Tenant, ASID: asid, Goal: req.Goal, LineFactor: req.LineFactor}
+	s.tenants[t.Name] = t
+	s.byASID[asid] = t
+	s.store[t.Name] = make(map[string][]byte)
+	if err := s.journal.Tenant(TenantRecord{
+		ASID: asid, Name: t.Name, Goal: t.Goal, LineFactor: t.LineFactor,
+	}); err != nil {
+		s.servReg.Counter("molcache_server_journal_errors_total").Inc()
+	}
+	return response{asid: asid}
+}
+
+// publish collects an immutable obs.State (sim-goroutine contract),
+// extends it with the tenant view and the server-plane metrics, and
+// installs it for the HTTP handlers.
+func (s *Server) publish() {
+	st := obs.Collect(s.sim.Cache, s.sim.Controller, s.reg)
+	st.Tenants = s.collectTenants(st)
+	st.Metrics = mergeSnapshots(st.Metrics, s.servReg.AtomicSnapshot())
+	s.servReg.Gauge("molcache_server_tenants").Set(float64(len(s.tenants)))
+	s.pubAt = st.At
+	s.pub.Publish(st)
+}
+
+func (s *Server) collectTenants(st *obs.State) []obs.TenantInfo {
+	byASID := make(map[uint16]*obs.RegionInfo, len(st.Regions))
+	for i := range st.Regions {
+		byASID[st.Regions[i].ASID] = &st.Regions[i]
+	}
+	infos := make([]obs.TenantInfo, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ti := obs.TenantInfo{
+			Name:       t.Name,
+			ASID:       t.ASID,
+			Goal:       t.Goal,
+			LineFactor: t.LineFactor,
+			Keys:       len(s.store[t.Name]),
+		}
+		if ri := byASID[t.ASID]; ri != nil {
+			ti.Molecules = ri.Molecules
+			ti.Accesses = ri.Accesses
+			ti.MissRate = ri.MissRate
+			ti.WindowMissRate = ri.WindowMissRate
+			ti.SLOMet = ri.WindowMissRate <= t.Goal
+		}
+		infos = append(infos, ti)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ASID < infos[j].ASID })
+	return infos
+}
+
+// mergeSnapshots overlays the server-plane snapshot onto the sim-plane
+// one. The namespaces are disjoint (molcache_server_* vs the rest), so
+// no key can collide.
+func mergeSnapshots(sim, serv telemetry.Snapshot) telemetry.Snapshot {
+	for k, v := range serv.Counters {
+		sim.Counters[k] = v
+	}
+	for k, v := range serv.Gauges {
+		sim.Gauges[k] = v
+	}
+	for k, v := range serv.Histograms {
+		sim.Histograms[k] = v
+	}
+	return sim
+}
+
+// Shutdown gracefully stops the server: no new connections, existing
+// connections closed, queued requests drained through the simulator,
+// the journal synced and closed, a final obs snapshot published, and —
+// when configured — a checkpoint written. The obs server stays up for
+// post-mortem scraping until Close. Safe to call more than once.
+func (s *Server) Shutdown() error {
+	s.shutdownOnce.Do(func() {
+		close(s.stopCh)
+		s.ln.Close()
+		s.mu.Lock()
+		s.closed = true
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.connWG.Wait()
+		close(s.reqCh)
+		<-s.doneCh
+		if err := s.journal.Close(); err != nil {
+			s.shutdownErr = err
+		}
+		if s.cfg.CheckpointPath != "" {
+			if err := s.writeCheckpoint(); err != nil && s.shutdownErr == nil {
+				s.shutdownErr = err
+			}
+		}
+	})
+	return s.shutdownErr
+}
+
+// Close shuts the server down and stops the obs plane.
+func (s *Server) Close() error {
+	err := s.Shutdown()
+	if cerr := s.obsSrv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,310 @@
+// Server behavior tests: protocol semantics end to end over real TCP
+// connections, the tenant admin surface, obs integration, and the
+// race-serve harness (TestRaceServe, run under -race by `make
+// race-serve`) proving N concurrent clients leave a gap-free journal
+// whose access count matches the served /metrics totals.
+package server_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"molcache/internal/server"
+	"molcache/internal/server/servertest"
+	"molcache/internal/telemetry"
+)
+
+const servertestTimeout = 5 * time.Second
+
+func TestServeBasics(t *testing.T) {
+	f := servertest.Boot(t, servertest.Options{})
+	c := f.Client()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("PING: %v", err)
+	}
+
+	// Data verbs before TENANT registration must be refused.
+	var pe *server.ProtocolError
+	if _, _, _, err := c.Get("web", "k"); !errors.As(err, &pe) || pe.Code != server.ErrUnknownTenant {
+		t.Fatalf("GET before TENANT: got %v, want %s", err, server.ErrUnknownTenant)
+	}
+
+	asid, err := c.Tenant("web", 0.1, 2)
+	if err != nil {
+		t.Fatalf("TENANT: %v", err)
+	}
+	if asid != 1 {
+		t.Fatalf("first tenant ASID = %d, want 1", asid)
+	}
+
+	// SET → GET round-trips the value; GET of an absent key is NOTFOUND.
+	if _, err := c.Set("web", "user:17", []byte("hello")); err != nil {
+		t.Fatalf("SET: %v", err)
+	}
+	v, _, found, err := c.Get("web", "user:17")
+	if err != nil || !found || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("GET: value=%q found=%v err=%v", v, found, err)
+	}
+	if _, _, found, err := c.Get("web", "missing"); err != nil || found {
+		t.Fatalf("GET absent: found=%v err=%v", found, err)
+	}
+
+	// An immediate re-GET of a just-SET key must hit the cache model.
+	if _, hit, _, err := c.Get("web", "user:17"); err != nil || !hit {
+		t.Fatalf("GET after SET: hit=%v err=%v (a just-written line must be resident)", hit, err)
+	}
+
+	// DEL removes the key; a second DEL is NOTFOUND.
+	if found, err := c.Del("web", "user:17"); err != nil || !found {
+		t.Fatalf("DEL: found=%v err=%v", found, err)
+	}
+	if found, err := c.Del("web", "user:17"); err != nil || found {
+		t.Fatalf("DEL absent: found=%v err=%v", found, err)
+	}
+
+	// Empty and binary values survive the length-prefixed framing.
+	if _, err := c.Set("web", "empty", nil); err != nil {
+		t.Fatalf("SET empty: %v", err)
+	}
+	if v, _, found, err := c.Get("web", "empty"); err != nil || !found || len(v) != 0 {
+		t.Fatalf("GET empty: value=%q found=%v err=%v", v, found, err)
+	}
+	raw := []byte("a\r\nb\x00c")
+	if _, err := c.Set("web", "raw", raw); err != nil {
+		t.Fatalf("SET binary: %v", err)
+	}
+	if v, _, _, err := c.Get("web", "raw"); err != nil || !bytes.Equal(v, raw) {
+		t.Fatalf("GET binary: value=%q err=%v", v, err)
+	}
+}
+
+func TestTenantAdmin(t *testing.T) {
+	f := servertest.Boot(t, servertest.Options{})
+	c := f.Client()
+
+	asid, err := c.Tenant("web", 0.1, 2)
+	if err != nil {
+		t.Fatalf("TENANT: %v", err)
+	}
+
+	// Re-registering with the same line factor is idempotent (same ASID);
+	// a different line factor conflicts (fixed for the region's life).
+	again, err := c.Tenant("web", 0.1, 2)
+	if err != nil || again != asid {
+		t.Fatalf("re-TENANT: asid=%d err=%v, want %d", again, err, asid)
+	}
+	var pe *server.ProtocolError
+	if _, err := c.Tenant("web", 0.1, 8); !errors.As(err, &pe) || pe.Code != server.ErrTenantConflict {
+		t.Fatalf("TENANT line-factor conflict: got %v, want %s", err, server.ErrTenantConflict)
+	}
+
+	// A goal update keeps the ASID and lands in the controller.
+	if again, err = c.Tenant("web", 0.25, 0); err != nil || again != asid {
+		t.Fatalf("TENANT goal update: asid=%d err=%v", again, err)
+	}
+
+	// Distinct tenants get distinct ASIDs and isolated keyspaces.
+	asid2, err := c.Tenant("batch", 0.4, 0)
+	if err != nil {
+		t.Fatalf("TENANT batch: %v", err)
+	}
+	if asid2 == asid {
+		t.Fatalf("tenant ASIDs collide: %d", asid2)
+	}
+	if _, err := c.Set("web", "k", []byte("web-val")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found, err := c.Get("batch", "k"); err != nil || found {
+		t.Fatalf("cross-tenant GET leaked: found=%v err=%v", found, err)
+	}
+
+	if err := f.Server.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := f.Server.Sim().Controller.Goal(asid); got != 0.25 {
+		t.Errorf("controller goal after update = %v, want 0.25", got)
+	}
+}
+
+func TestShutdownRefusesNewWork(t *testing.T) {
+	f := servertest.Boot(t, servertest.Options{NoCheckpoint: true})
+	c := f.Client()
+	if _, err := c.Tenant("web", 0.1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Server.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The old connection is force-closed and new dials are refused.
+	if err := c.Ping(); err == nil {
+		t.Error("PING succeeded after shutdown")
+	}
+	if _, err := server.Dial(f.Server.Addr()); err == nil {
+		t.Error("Dial succeeded after shutdown")
+	}
+	// Shutdown is idempotent.
+	if err := f.Server.Shutdown(); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+func TestTenantsEndpoint(t *testing.T) {
+	f := servertest.Boot(t, servertest.Options{Obs: true})
+	f.WaitHealthy(servertestTimeout)
+	c := f.Client()
+	if _, err := c.Tenant("web", 0.1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Tenant("batch", 0.4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Drive("web", 7, 200, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Server.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// The final publish ran during shutdown; the obs plane stays up for
+	// post-mortem scraping until Close.
+	var page struct {
+		At      uint64 `json:"at"`
+		Tenants []struct {
+			Name     string  `json:"name"`
+			ASID     uint16  `json:"asid"`
+			Goal     float64 `json:"goal"`
+			Keys     int     `json:"keys"`
+			Accesses uint64  `json:"accesses"`
+		} `json:"tenants"`
+	}
+	if err := servertest.GetJSON(f.Server.ObsURL()+"/tenants", &page); err != nil {
+		t.Fatalf("GET /tenants: %v", err)
+	}
+	if len(page.Tenants) != 2 {
+		t.Fatalf("got %d tenants, want 2: %+v", len(page.Tenants), page.Tenants)
+	}
+	web := page.Tenants[0]
+	if web.Name != "web" || web.ASID != 1 || web.Goal != 0.1 {
+		t.Errorf("tenant[0] = %+v, want web/1/0.1", web)
+	}
+	if web.Accesses == 0 || web.Keys == 0 {
+		t.Errorf("driven tenant shows no activity: %+v", web)
+	}
+	if page.Tenants[1].Name != "batch" {
+		t.Errorf("tenant[1] = %+v, want batch", page.Tenants[1])
+	}
+	if page.At == 0 {
+		t.Error("published snapshot has zero access clock after traffic")
+	}
+}
+
+// TestRaceServe is the concurrency lock, run under -race by `make
+// race-serve`: N concurrent clients drive distinct tenants, and after a
+// graceful shutdown the journal must be gap-free with exactly one
+// admitted access per cache-model operation, the /metrics totals must
+// agree with both the journal and the client-side counts, and a journal
+// replay must land on the live simulator's exact ledger.
+func TestRaceServe(t *testing.T) {
+	const (
+		clients = 8
+		ops     = 400
+		keys    = 64
+	)
+	f := servertest.Boot(t, servertest.Options{Obs: true, Shards: 2})
+	stats := make([]server.DriveStats, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		c := f.Client()
+		tenant := fmt.Sprintf("tenant-%d", i)
+		if _, err := c.Tenant(tenant, 0.2, 0); err != nil {
+			t.Fatalf("TENANT %s: %v", tenant, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[i], errs[i] = c.Drive(tenant, uint64(i+1), ops, keys)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	obsURL := f.Server.ObsURL()
+	if err := f.Server.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Client-side accounting: every SET, every found GET and every found
+	// DEL is one admitted access; NOTFOUND operations are not admitted.
+	var wantAccesses, wantRequests uint64
+	for _, st := range stats {
+		wantAccesses += uint64(st.Sets + st.Gets + st.Dels - st.NotFound)
+		wantRequests += uint64(st.Sets + st.Gets + st.Dels)
+	}
+
+	// The journal must be gap-free and cover exactly the admitted count.
+	_, frames, err := server.ReadJournalFile(f.JournalPath)
+	if err != nil {
+		t.Fatalf("journal not clean after concurrent serve: %v", err)
+	}
+	var journaled uint64
+	for _, fr := range frames {
+		if fr.Batch != nil {
+			journaled += uint64(len(fr.Batch.Refs))
+		}
+	}
+	if journaled != wantAccesses {
+		t.Errorf("journal covers %d accesses, clients admitted %d", journaled, wantAccesses)
+	}
+
+	// The served /metrics page (post-shutdown final publish) must agree.
+	resp, err := http.Get(obsURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	snap, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	if got := uint64(snap.Counters["molcache_server_accesses_total"]); got != wantAccesses {
+		t.Errorf("molcache_server_accesses_total = %d, want %d", got, wantAccesses)
+	}
+	var served uint64
+	for _, verb := range []string{"GET", "SET", "DEL"} {
+		served += uint64(snap.Counters["molcache_server_requests_total{verb="+verb+"}"])
+	}
+	if served != wantRequests {
+		t.Errorf("request totals = %d, clients sent %d", served, wantRequests)
+	}
+	if got := uint64(snap.Counters["molcache_server_requests_total{verb=TENANT}"]); got != clients {
+		t.Errorf("TENANT requests = %d, want %d", got, clients)
+	}
+	if got := snap.Gauges["molcache_server_tenants"]; got != clients {
+		t.Errorf("molcache_server_tenants = %v, want %d", got, clients)
+	}
+
+	// And the differential oracle must hold over the concurrent journal.
+	rep, err := server.ReplayJournalFile(f.JournalPath, server.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.Accesses != journaled || rep.Tenants != clients {
+		t.Errorf("replay saw %d accesses / %d tenants, want %d / %d",
+			rep.Accesses, rep.Tenants, journaled, clients)
+	}
+	live := f.Server.Sim()
+	if !reflect.DeepEqual(*live.Cache.Ledger(), *rep.Sim.Cache.Ledger()) {
+		t.Errorf("ledger diverged: live %+v, replay %+v", *live.Cache.Ledger(), *rep.Sim.Cache.Ledger())
+	}
+}

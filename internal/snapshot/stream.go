@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// MaxFrameLen bounds one streamed frame. Frames hold bounded request
+// batches or admin records, not whole-cache state, so anything past
+// this is corruption, not data.
+const MaxFrameLen = 64 << 20
+
+// FrameWriter appends length-prefixed MOLC1 containers to a stream —
+// the layout of molcached's access journal. Each frame is a uint32
+// little-endian payload length followed by one Encode()d container, so
+// every frame carries the container's own section and payload CRCs and
+// a torn tail is detectable as a short read.
+type FrameWriter struct {
+	w io.Writer
+}
+
+// NewFrameWriter wraps w. The caller owns buffering and sync.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteFrame encodes sections as one container and appends it.
+func (fw *FrameWriter) WriteFrame(sections []Section) error {
+	data, err := Encode(sections)
+	if err != nil {
+		return err
+	}
+	if len(data) > MaxFrameLen {
+		return errf("frame", "frame length %d exceeds cap %d", len(data), MaxFrameLen)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = fw.w.Write(data)
+	return err
+}
+
+// FrameReader iterates the frames of a journal stream.
+type FrameReader struct {
+	r io.Reader
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// ReadFrame returns the next frame's sections. A clean end of stream is
+// io.EOF; a partial length prefix, truncated payload, oversized length
+// or corrupt container is a typed *Error.
+func (fr *FrameReader) ReadFrame() ([]Section, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errf("frame", "truncated length prefix: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, errf("frame", "frame length %d exceeds cap %d", n, MaxFrameLen)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, data); err != nil {
+		return nil, errf("frame", "truncated frame body: %v", err)
+	}
+	return Decode(data)
+}

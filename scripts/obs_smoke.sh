@@ -2,17 +2,28 @@
 # Smoke test for the live observability plane: start molsim with -serve
 # on an ephemeral port, poll until the server answers, then assert that
 # /metrics, /regions, /decisions and / all return non-empty, well-formed
-# output. Exits nonzero (and prints the simulator log) on any failure.
+# output. Then repeat for the serving layer: boot molcached with the
+# two-tenant demo, assert /healthz answers 200 with a fresh snapshot and
+# /tenants lists both demo tenants, and verify SIGTERM leaves a
+# checkpoint behind. Exits nonzero (and prints the daemon log) on any
+# failure.
 set -eu
 
 PORT="${OBS_SMOKE_PORT:-19464}"
 ADDR="127.0.0.1:${PORT}"
+CACHED_PORT="${MOLCACHED_SMOKE_PORT:-19465}"
+CACHED_OBS_PORT="${MOLCACHED_SMOKE_OBS_PORT:-19466}"
 DIR="$(mktemp -d)"
 LOG="${DIR}/molsim.log"
+CACHED_LOG="${DIR}/molcached.log"
+SIM_PID=""
+CACHED_PID=""
 
 cleanup() {
-	kill "${SIM_PID}" 2>/dev/null || true
-	wait "${SIM_PID}" 2>/dev/null || true
+	[ -n "${SIM_PID}" ] && kill "${SIM_PID}" 2>/dev/null || true
+	[ -n "${CACHED_PID}" ] && kill "${CACHED_PID}" 2>/dev/null || true
+	[ -n "${SIM_PID}" ] && wait "${SIM_PID}" 2>/dev/null || true
+	[ -n "${CACHED_PID}" ] && wait "${CACHED_PID}" 2>/dev/null || true
 	rm -rf "${DIR}"
 }
 
@@ -92,3 +103,93 @@ grep -q '"snapshot_age_seconds"' "${DIR}/healthz.json" || fail "/healthz missing
 grep -q '"events_dropped"' "${DIR}/healthz.json" || fail "/healthz missing event-tap drop count"
 
 echo "obs-smoke: OK (/ /metrics /regions /decisions /healthz /debug/pprof all served)"
+
+kill "${SIM_PID}" 2>/dev/null || true
+wait "${SIM_PID}" 2>/dev/null || true
+SIM_PID=""
+
+# --- Serving layer: molcached ---------------------------------------
+# Boot the daemon with the deterministic two-tenant demo, a journal and
+# a checkpoint path. Build a real binary so SIGTERM reaches the daemon
+# directly (no `go run` wrapper in between).
+cfail() {
+	echo "obs-smoke: FAIL: $1" >&2
+	echo "--- molcached log ---" >&2
+	cat "${CACHED_LOG}" >&2 || true
+	exit 1
+}
+
+CACHED_ADDR="127.0.0.1:${CACHED_PORT}"
+CACHED_OBS="127.0.0.1:${CACHED_OBS_PORT}"
+CKPT="${DIR}/molcached.ckpt"
+echo "obs-smoke: building molcached"
+go build -o "${DIR}/molcached" ./cmd/molcached || cfail "molcached does not build"
+echo "obs-smoke: starting molcached -serve ${CACHED_OBS}"
+"${DIR}/molcached" \
+	-listen "${CACHED_ADDR}" -serve "${CACHED_OBS}" \
+	-cache molecular:1MB:4x2:Randy -demo -demo-ops 3000 -publish-every 500 \
+	-journal "${DIR}/access.molc" -checkpoint "${CKPT}" \
+	>"${CACHED_LOG}" 2>&1 &
+CACHED_PID=$!
+
+CBASE="http://${CACHED_OBS}"
+i=0
+until fetch "${CBASE}/healthz" "${DIR}/chealthz.json" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "${i}" -ge 120 ]; then
+		cfail "molcached did not come up on ${CACHED_OBS} within 120s"
+	fi
+	if ! kill -0 "${CACHED_PID}" 2>/dev/null; then
+		cfail "molcached exited before serving"
+	fi
+	sleep 1
+done
+
+# /healthz must be ok with a fresh (non-stale) published snapshot. The
+# demo runs before the daemon waits on signals, so once /tenants shows
+# both tenants the final demo publish has happened; a snapshot older
+# than 60s at that point means the publish cadence is broken.
+i=0
+while :; do
+	fetch "${CBASE}/tenants" "${DIR}/tenants.json" || cfail "GET /tenants"
+	if grep -q '"hot"' "${DIR}/tenants.json" && grep -q '"scan"' "${DIR}/tenants.json"; then
+		break
+	fi
+	i=$((i + 1))
+	if [ "${i}" -ge 60 ]; then
+		cfail "/tenants never listed the demo tenants: $(cat "${DIR}/tenants.json")"
+	fi
+	sleep 1
+done
+grep -q '"goal": 0.05' "${DIR}/tenants.json" || cfail "/tenants missing the tight demo goal"
+grep -q '"miss_rate"' "${DIR}/tenants.json" || cfail "/tenants missing miss rates"
+grep -q '"slo_met"' "${DIR}/tenants.json" || cfail "/tenants missing SLO verdicts"
+
+fetch "${CBASE}/healthz" "${DIR}/chealthz.json" || cfail "GET /healthz"
+grep -q '"status": "ok"' "${DIR}/chealthz.json" || cfail "/healthz not ok: $(cat "${DIR}/chealthz.json")"
+AGE="$(sed -n 's/.*"snapshot_age_seconds": \([0-9]*\)\(\.[0-9]*\)\?.*/\1/p' "${DIR}/chealthz.json")"
+[ -n "${AGE}" ] || cfail "/healthz missing snapshot age: $(cat "${DIR}/chealthz.json")"
+[ "${AGE}" -lt 60 ] || cfail "/healthz snapshot is stale (${AGE}s old)"
+
+fetch "${CBASE}/metrics" "${DIR}/cmetrics.prom" || cfail "GET /metrics"
+grep -q '^molcache_server_accesses_total' "${DIR}/cmetrics.prom" \
+	|| cfail "/metrics missing server access counter"
+grep -q 'molcache_server_requests_total{verb=' "${DIR}/cmetrics.prom" \
+	|| cfail "/metrics missing per-verb request counters"
+
+# SIGTERM must checkpoint and exit cleanly.
+kill -TERM "${CACHED_PID}"
+i=0
+while kill -0 "${CACHED_PID}" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "${i}" -ge 30 ]; then
+		cfail "molcached did not exit within 30s of SIGTERM"
+	fi
+	sleep 1
+done
+wait "${CACHED_PID}" 2>/dev/null || cfail "molcached exited nonzero"
+CACHED_PID=""
+[ -s "${CKPT}" ] || cfail "SIGTERM left no checkpoint at ${CKPT}"
+grep -q "checkpoint written" "${CACHED_LOG}" || cfail "shutdown log missing checkpoint line"
+
+echo "obs-smoke: OK (molcached /healthz /tenants /metrics served, SIGTERM checkpointed)"
